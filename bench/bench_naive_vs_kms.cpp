@@ -1,0 +1,71 @@
+// Ablation: the paper's motivating comparison. Straightforward
+// redundancy removal ([4]/[22]-style, our remove_redundancies) versus
+// the KMS algorithm, across the carry-skip adder family. Naive removal
+// deletes the skip chain and the true (computed) delay degrades to
+// ripple speed; KMS keeps it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/redundancy.hpp"
+#include "src/cnf/encoder.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/sensitize.hpp"
+
+using namespace kms;
+
+int main() {
+  struct Row {
+    std::size_t bits, block;
+  };
+  const std::vector<Row> rows = {{4, 2}, {8, 2}, {8, 4}, {12, 4}, {16, 4}};
+
+  std::printf(
+      "Naive redundancy removal vs KMS (computed delay, unit gate "
+      "delays)\n");
+  bench::rule('=');
+  std::printf("%-10s %9s %9s %9s %9s %9s %9s\n", "name", "delay0",
+              "naive", "kms", "gates0", "naiveG", "kmsG");
+  bench::rule();
+
+  for (const Row& r : rows) {
+    Network base = carry_skip_adder(r.bits, r.block);
+    decompose_to_simple(base);
+    apply_unit_delays(base);
+    const double d0 =
+        computed_delay(base, SensitizationMode::kStatic).delay;
+    const std::size_t g0 = base.count_gates();
+
+    Network naive = base;
+    remove_redundancies(naive);
+    const double dn =
+        computed_delay(naive, SensitizationMode::kStatic).delay;
+
+    Network kms_net = base;
+    kms_make_irredundant(kms_net, {});
+    const double dk =
+        computed_delay(kms_net, SensitizationMode::kStatic).delay;
+
+    const bool ok = sat_equivalent(base, naive) &&
+                    sat_equivalent(base, kms_net) &&
+                    count_redundancies(naive) == 0 &&
+                    count_redundancies(kms_net) == 0;
+    const std::string name =
+        "csa " + std::to_string(r.bits) + "." + std::to_string(r.block);
+    std::printf("%-10s %9.0f %9.0f %9.0f %9zu %9zu %9zu%s\n", name.c_str(),
+                d0, dn, dk, g0, naive.count_gates(), kms_net.count_gates(),
+                ok ? "" : "  [VERIFY FAILED]");
+  }
+  bench::rule();
+  std::printf(
+      "expected shape: kms delay <= original delay on every row; naive\n"
+      "delay > original delay once the adder has >= 3 skip blocks (with\n"
+      "only 2 blocks the bypass cannot beat plain rippling, so naive\n"
+      "removal is harmless there -- csa 4.2 / 8.4 are included to show\n"
+      "exactly that boundary); all results fully testable.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Runtime scaling (google-benchmark): supports Section VI.2's practical
+// argument — the loop's work tracks the number of non-viable longest
+// paths, so the algorithm stays cheap as the adder grows.
+#include <benchmark/benchmark.h>
+
+#include "src/atpg/atpg.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/path.hpp"
+#include "src/timing/sensitize.hpp"
+#include "src/timing/sta.hpp"
+
+namespace {
+
+using namespace kms;
+
+Network make_csa(std::size_t bits, std::size_t block) {
+  Network net = carry_skip_adder(bits, block);
+  decompose_to_simple(net);
+  apply_unit_delays(net);
+  return net;
+}
+
+void BM_KmsOnCarrySkip(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const Network base = make_csa(bits, 4);
+  for (auto _ : state) {
+    Network net = base;
+    KmsStats s = kms_make_irredundant(net, {});
+    benchmark::DoNotOptimize(s.final_gates);
+  }
+  state.counters["gates"] =
+      static_cast<double>(base.count_gates());
+}
+BENCHMARK(BM_KmsOnCarrySkip)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RedundancyCount(benchmark::State& state) {
+  const Network net = make_csa(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_redundancies(net));
+  }
+}
+BENCHMARK(BM_RedundancyCount)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const Network net = make_csa(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    PathEnumerator en(net);
+    std::size_t n = 0;
+    while (n < 1000 && en.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputedDelay(benchmark::State& state) {
+  const Network net = make_csa(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    const DelayReport r =
+        computed_delay(net, SensitizationMode::kStatic);
+    benchmark::DoNotOptimize(r.delay);
+  }
+}
+BENCHMARK(BM_ComputedDelay)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StaticTimingAnalysis(benchmark::State& state) {
+  RandomNetworkOptions opts;
+  opts.gates = static_cast<std::size_t>(state.range(0));
+  opts.inputs = 32;
+  opts.outputs = 16;
+  opts.seed = 7;
+  const Network net = random_network(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topological_delay(net));
+  }
+}
+BENCHMARK(BM_StaticTimingAnalysis)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Shared helpers for the benchmark/reproduction binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace kms::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void rule(char c = '-', int n = 78) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace kms::bench

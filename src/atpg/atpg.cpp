@@ -1,0 +1,142 @@
+#include "src/atpg/atpg.hpp"
+
+#include <cassert>
+
+#include "src/cnf/encoder.hpp"
+
+namespace kms {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+/// Gates whose value can change under the fault: forward closure from
+/// the fault site. Indexed by GateId::value().
+std::vector<bool> fault_cone(const Network& net, const Fault& f) {
+  std::vector<bool> in_cone(net.gate_capacity(), false);
+  std::vector<GateId> stack;
+  auto push = [&](GateId g) {
+    if (!in_cone[g.value()]) {
+      in_cone[g.value()] = true;
+      stack.push_back(g);
+    }
+  };
+  if (f.site == Fault::Site::kStem) {
+    push(f.gate);
+  } else {
+    push(net.conn(f.conn).to);
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (ConnId c : net.gate(g).fanouts)
+      if (!net.conn(c).dead) push(net.conn(c).to);
+  }
+  return in_cone;
+}
+
+}  // namespace
+
+Atpg::Atpg(const Network& net) : net_(net) {}
+
+std::optional<std::vector<bool>> Atpg::generate_test(const Fault& fault) {
+  ++stats_.queries;
+  const auto cone = fault_cone(net_, fault);
+
+  // Untestable without a SAT call if no primary output sees the fault.
+  bool reaches_output = false;
+  for (GateId o : net_.outputs())
+    if (cone[o.value()]) {
+      reaches_output = true;
+      break;
+    }
+  if (!reaches_output) {
+    ++stats_.untestable;
+    return std::nullopt;
+  }
+
+  Solver solver;
+  CircuitEncoding good(net_, solver);
+
+  // A literal fixed to the stuck value, used to inject the fault.
+  const Var stuck_var = solver.new_var();
+  const Lit stuck_lit = sat::mk_lit(stuck_var, /*negated=*/!fault.stuck);
+  solver.add_clause(stuck_lit);
+
+  // Faulty copies for cone gates.
+  std::vector<Var> faulty(net_.gate_capacity(), -1);
+  for (GateId g : net_.topo_order()) {
+    if (!cone[g.value()]) continue;
+    const Gate& gt = net_.gate(g);
+    const Var fv = solver.new_var();
+    faulty[g.value()] = fv;
+    if (fault.site == Fault::Site::kStem && g == fault.gate) {
+      // Inject: the faulty stem is the stuck constant.
+      solver.add_clause(sat::mk_lit(fv, !fault.stuck));
+      continue;
+    }
+    std::vector<Lit> in;
+    in.reserve(gt.fanins.size());
+    for (ConnId c : gt.fanins) {
+      if (fault.site == Fault::Site::kBranch && c == fault.conn) {
+        in.push_back(sat::mk_lit(stuck_var));
+        continue;
+      }
+      const GateId src = net_.conn(c).from;
+      const Var sv =
+          faulty[src.value()] >= 0 ? faulty[src.value()] : good.var_of(src);
+      in.push_back(sat::mk_lit(sv));
+    }
+    encode_gate(solver, gt.kind, fv, in);
+  }
+
+  // Activation: the good value at the fault site must differ from the
+  // stuck value (otherwise the fault is invisible by construction).
+  const GateId src_gate = fault_source(net_, fault);
+  solver.add_clause(good.lit_of(src_gate, /*negated=*/fault.stuck));
+
+  // Detection: some primary output in the cone differs.
+  std::vector<Lit> diffs;
+  for (GateId o : net_.outputs()) {
+    if (!cone[o.value()]) continue;
+    const Lit g = good.lit_of(o);
+    const Lit fl = sat::mk_lit(faulty[o.value()]);
+    const Lit d = sat::mk_lit(solver.new_var());
+    solver.add_clause(~d, g, fl);
+    solver.add_clause(~d, ~g, ~fl);
+    solver.add_clause(d, ~g, fl);
+    solver.add_clause(d, g, ~fl);
+    diffs.push_back(d);
+  }
+  solver.add_clause(diffs);
+
+  const sat::Result r = solver.solve();
+  stats_.sat_conflicts += solver.stats().conflicts;
+  if (r == sat::Result::kUnsat) {
+    ++stats_.untestable;
+    return std::nullopt;
+  }
+  assert(r == sat::Result::kSat);
+  ++stats_.testable;
+  return good.model_inputs();
+}
+
+std::vector<Fault> find_redundancies(const Network& net, std::size_t limit) {
+  std::vector<Fault> out;
+  Atpg atpg(net);
+  for (const Fault& f : collapsed_faults(net)) {
+    if (!atpg.is_testable(f)) {
+      out.push_back(f);
+      if (limit != 0 && out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+std::size_t count_redundancies(const Network& net) {
+  return find_redundancies(net).size();
+}
+
+}  // namespace kms

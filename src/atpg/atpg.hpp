@@ -1,0 +1,59 @@
+// SAT-based automatic test pattern generation.
+//
+// Testability of a stuck-at fault is decided exactly with a
+// good-circuit / faulty-cone dual encoding (the Boolean-satisfiability
+// formulation of ATPG): the fault's output cone is duplicated with the
+// fault injected, the good and faulty values of every primary output in
+// the cone are XORed, and the query asks for an input assignment that
+// activates the fault and makes at least one output differ. UNSAT means
+// the fault is untestable — i.e. the circuit is redundant at that site
+// (Section I, footnote 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/atpg/fault.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct AtpgStats {
+  std::uint64_t queries = 0;
+  std::uint64_t testable = 0;
+  std::uint64_t untestable = 0;
+  std::uint64_t sat_conflicts = 0;
+};
+
+class Atpg {
+ public:
+  /// The network must stay structurally unchanged while tests are being
+  /// generated (take a fresh Atpg after every network edit).
+  explicit Atpg(const Network& net);
+
+  /// A test vector (PI assignment, in net.inputs() order) detecting the
+  /// fault, or nullopt if the fault is untestable (redundant).
+  std::optional<std::vector<bool>> generate_test(const Fault& fault);
+
+  bool is_testable(const Fault& fault) {
+    return generate_test(fault).has_value();
+  }
+
+  const AtpgStats& stats() const { return stats_; }
+
+ private:
+  const Network& net_;
+  AtpgStats stats_;
+};
+
+/// All untestable faults from the collapsed fault list. `limit` stops
+/// early once that many have been found (0 = no limit).
+std::vector<Fault> find_redundancies(const Network& net,
+                                     std::size_t limit = 0);
+
+/// Count of untestable collapsed faults (the "No. Red." column of
+/// Table I).
+std::size_t count_redundancies(const Network& net);
+
+}  // namespace kms

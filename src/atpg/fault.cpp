@@ -1,0 +1,159 @@
+#include "src/atpg/fault.hpp"
+
+#include <numeric>
+
+#include "src/base/strings.hpp"
+
+namespace kms {
+namespace {
+
+std::size_t live_fanout(const Network& net, GateId g) {
+  std::size_t n = 0;
+  for (ConnId c : net.gate(g).fanouts)
+    if (!net.conn(c).dead) ++n;
+  return n;
+}
+
+bool faultable_gate(const Network& net, GateId g) {
+  const Gate& gt = net.gate(g);
+  if (gt.dead) return false;
+  if (gt.kind == GateKind::kOutput) return false;
+  if (is_constant(gt.kind)) return false;
+  // A gate with no live fanout cannot affect any output.
+  return live_fanout(net, g) > 0;
+}
+
+/// Union-find over fault keys.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+GateId fault_source(const Network& net, const Fault& f) {
+  return f.site == Fault::Site::kStem ? f.gate : net.conn(f.conn).from;
+}
+
+std::string format_fault(const Network& net, const Fault& f) {
+  auto label = [&net](GateId g) {
+    const Gate& gt = net.gate(g);
+    std::string s =
+        gt.name.empty() ? "g" + std::to_string(g.value()) : gt.name;
+    s += "(";
+    s += gate_kind_name(gt.kind);
+    s += ")";
+    return s;
+  };
+  const char* sa = f.stuck ? "/SA1" : "/SA0";
+  if (f.site == Fault::Site::kStem) return label(f.gate) + sa;
+  const Conn& c = net.conn(f.conn);
+  return "conn " + label(c.from) + "->" + label(c.to) + sa;
+}
+
+std::vector<Fault> enumerate_faults(const Network& net) {
+  std::vector<Fault> out;
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const GateId g{i};
+    if (!faultable_gate(net, g)) continue;
+    for (bool v : {false, true})
+      out.push_back(Fault{Fault::Site::kStem, g, ConnId::invalid(), v});
+  }
+  for (std::uint32_t i = 0; i < net.conn_capacity(); ++i) {
+    const ConnId c{i};
+    const Conn& cn = net.conn(c);
+    if (cn.dead) continue;
+    if (!faultable_gate(net, cn.from)) continue;
+    if (live_fanout(net, cn.from) <= 1) continue;  // branch == stem
+    for (bool v : {false, true})
+      out.push_back(Fault{Fault::Site::kBranch, GateId::invalid(), c, v});
+  }
+  return out;
+}
+
+std::vector<Fault> collapsed_faults(const Network& net) {
+  const std::size_t gate_keys = 2 * net.gate_capacity();
+  const std::size_t total = gate_keys + 2 * net.conn_capacity();
+  auto stem_key = [](GateId g, bool v) {
+    return 2 * static_cast<std::size_t>(g.value()) + (v ? 1 : 0);
+  };
+  auto branch_key = [gate_keys](ConnId c, bool v) {
+    return gate_keys + 2 * static_cast<std::size_t>(c.value()) + (v ? 1 : 0);
+  };
+  // Key of the fault equivalent to "pin of gate `to` via conn c stuck at v":
+  // the branch site if the source has fanout > 1, else the source's stem.
+  auto input_site_key = [&](ConnId c, bool v) {
+    const GateId src = net.conn(c).from;
+    return live_fanout(net, src) > 1 ? branch_key(c, v) : stem_key(src, v);
+  };
+
+  UnionFind uf(total);
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const GateId g{i};
+    const Gate& gt = net.gate(g);
+    if (gt.dead) continue;
+    switch (gt.kind) {
+      case GateKind::kAnd:
+      case GateKind::kNand:
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        const bool cv = controlling_value(gt.kind);
+        // input SA(cv) == output SA(cv ^ inverted): e.g. AND input SA0 ==
+        // output SA0, NAND input SA0 == output SA1.
+        const bool out_stuck = is_inverting(gt.kind) ? !cv : cv;
+        for (ConnId c : gt.fanins)
+          uf.unite(input_site_key(c, cv), stem_key(g, out_stuck));
+        break;
+      }
+      case GateKind::kBuf:
+      case GateKind::kNot: {
+        const bool inv = gt.kind == GateKind::kNot;
+        for (bool v : {false, true})
+          uf.unite(input_site_key(gt.fanins[0], v), stem_key(g, inv ? !v : v));
+        break;
+      }
+      case GateKind::kOutput: {
+        // The output marker is transparent: a fault on its input conn is
+        // the same wire as the driver's stem/branch — already covered by
+        // input_site_key; nothing to unite against (markers have no stem).
+        break;
+      }
+      default:
+        break;  // XOR/XNOR/MUX: no structural equivalences used
+    }
+  }
+
+  // Emit one representative per class, restricted to real fault sites.
+  std::vector<Fault> all = enumerate_faults(net);
+  std::vector<char> taken(total, 0);
+  std::vector<Fault> out;
+  for (const Fault& f : all) {
+    const std::size_t key = f.site == Fault::Site::kStem
+                                ? stem_key(f.gate, f.stuck)
+                                : branch_key(f.conn, f.stuck);
+    const std::size_t root = uf.find(key);
+    if (taken[root]) continue;
+    taken[root] = 1;
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace kms

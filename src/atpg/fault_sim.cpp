@@ -1,0 +1,165 @@
+#include "src/atpg/fault_sim.hpp"
+
+#include <cassert>
+
+namespace kms {
+namespace {
+
+std::uint64_t eval_word(const Network& net, GateId g,
+                        const std::vector<std::uint64_t>& in) {
+  const Gate& gt = net.gate(g);
+  switch (gt.kind) {
+    case GateKind::kConst0:
+      return 0;
+    case GateKind::kConst1:
+      return ~0ull;
+    case GateKind::kInput:
+      assert(false && "inputs are not re-evaluated");
+      return 0;
+    case GateKind::kOutput:
+    case GateKind::kBuf:
+      return in[0];
+    case GateKind::kNot:
+      return ~in[0];
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      std::uint64_t w = ~0ull;
+      for (std::uint64_t x : in) w &= x;
+      return gt.kind == GateKind::kNand ? ~w : w;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      std::uint64_t w = 0;
+      for (std::uint64_t x : in) w |= x;
+      return gt.kind == GateKind::kNor ? ~w : w;
+    }
+    case GateKind::kXor:
+    case GateKind::kXnor: {
+      std::uint64_t w = 0;
+      for (std::uint64_t x : in) w ^= x;
+      return gt.kind == GateKind::kXnor ? ~w : w;
+    }
+    case GateKind::kMux:
+      return (in[0] & in[1]) | (~in[0] & in[2]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+FaultSimulator::FaultSimulator(const Network& net)
+    : net_(net),
+      order_(net.topo_order()),
+      good_(net.gate_capacity(), 0),
+      faulty_(net.gate_capacity(), 0),
+      stamp_(net.gate_capacity(), 0) {}
+
+std::vector<std::uint64_t> FaultSimulator::detect_words(
+    const std::vector<Fault>& faults,
+    const std::vector<std::uint64_t>& pi_words) {
+  assert(pi_words.size() == net_.inputs().size());
+  // Good simulation.
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    good_[net_.inputs()[i].value()] = pi_words[i];
+  std::vector<std::uint64_t> in;
+  for (GateId g : order_) {
+    const Gate& gt = net_.gate(g);
+    if (gt.kind == GateKind::kInput) continue;
+    in.clear();
+    for (ConnId c : gt.fanins) in.push_back(good_[net_.conn(c).from.value()]);
+    good_[g.value()] = eval_word(net_, g, in);
+  }
+
+  std::vector<std::uint64_t> result;
+  result.reserve(faults.size());
+  for (const Fault& f : faults) {
+    ++current_stamp_;
+    const std::uint64_t stuck_word = f.stuck ? ~0ull : 0;
+    auto value_of = [&](GateId g) {
+      return stamp_[g.value()] == current_stamp_ ? faulty_[g.value()]
+                                                 : good_[g.value()];
+    };
+    if (f.site == Fault::Site::kStem) {
+      faulty_[f.gate.value()] = stuck_word;
+      stamp_[f.gate.value()] = current_stamp_;
+    }
+    // Replay the cone in topological order. The overall order_ is a
+    // valid order for any cone; we lazily recompute gates with a dirty
+    // fanin (or the branch sink).
+    const GateId branch_sink = f.site == Fault::Site::kBranch
+                                   ? net_.conn(f.conn).to
+                                   : GateId::invalid();
+    for (GateId g : order_) {
+      const Gate& gt = net_.gate(g);
+      if (gt.kind == GateKind::kInput || is_constant(gt.kind)) continue;
+      if (f.site == Fault::Site::kStem && g == f.gate) continue;
+      bool dirty = g == branch_sink;
+      if (!dirty) {
+        for (ConnId c : gt.fanins) {
+          if (stamp_[net_.conn(c).from.value()] == current_stamp_) {
+            dirty = true;
+            break;
+          }
+        }
+      }
+      if (!dirty) continue;
+      in.clear();
+      for (ConnId c : gt.fanins) {
+        if (f.site == Fault::Site::kBranch && c == f.conn)
+          in.push_back(stuck_word);
+        else
+          in.push_back(value_of(net_.conn(c).from));
+      }
+      const std::uint64_t w = eval_word(net_, g, in);
+      if (w != good_[g.value()]) {
+        faulty_[g.value()] = w;
+        stamp_[g.value()] = current_stamp_;
+      }
+    }
+    std::uint64_t detect = 0;
+    for (GateId o : net_.outputs())
+      if (stamp_[o.value()] == current_stamp_)
+        detect |= faulty_[o.value()] ^ good_[o.value()];
+    result.push_back(detect);
+  }
+  return result;
+}
+
+std::vector<bool> FaultSimulator::detect_random(
+    const std::vector<Fault>& faults, std::size_t words, Rng& rng) {
+  std::vector<bool> detected(faults.size(), false);
+  std::vector<std::uint64_t> pi(net_.inputs().size());
+  for (std::size_t w = 0; w < words; ++w) {
+    for (auto& x : pi) x = rng.next_u64();
+    const auto masks = detect_words(faults, pi);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (masks[i] != 0) detected[i] = true;
+  }
+  return detected;
+}
+
+double fault_coverage(const Network& net, const std::vector<Fault>& faults,
+                      const std::vector<std::vector<bool>>& tests) {
+  if (faults.empty()) return 1.0;
+  FaultSimulator sim(net);
+  std::vector<bool> detected(faults.size(), false);
+  const std::size_t n = net.inputs().size();
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t in_pass = std::min<std::size_t>(64, tests.size() - base);
+    std::vector<std::uint64_t> pi(n, 0);
+    for (std::size_t k = 0; k < in_pass; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        if (tests[base + k][i]) pi[i] |= 1ull << k;
+    const std::uint64_t live =
+        in_pass >= 64 ? ~0ull : ((1ull << in_pass) - 1);
+    const auto masks = sim.detect_words(faults, pi);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (masks[i] & live) detected[i] = true;
+  }
+  std::size_t count = 0;
+  for (bool d : detected)
+    if (d) ++count;
+  return static_cast<double>(count) / static_cast<double>(faults.size());
+}
+
+}  // namespace kms

@@ -1,0 +1,48 @@
+// Parallel-pattern single-fault simulation.
+//
+// Simulates 64 input vectors at a time against the good circuit, then
+// replays only each fault's output cone with the fault injected. Used to
+// cheaply mark detectable faults so that exact (SAT) ATPG effort is spent
+// only on the hard survivors — the classic fault-sim-then-ATPG flow of
+// redundancy identification tools like [22] (Schulz–Auth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/atpg/fault.hpp"
+#include "src/base/rng.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Network& net);
+
+  /// Simulate one 64-pattern word set and return, for each fault, the
+  /// mask of patterns that detect it (bit k set = pattern k detects).
+  std::vector<std::uint64_t> detect_words(
+      const std::vector<Fault>& faults,
+      const std::vector<std::uint64_t>& pi_words);
+
+  /// Convenience: which of `faults` are detected by `words` sets of 64
+  /// random patterns each.
+  std::vector<bool> detect_random(const std::vector<Fault>& faults,
+                                  std::size_t words, Rng& rng);
+
+ private:
+  const Network& net_;
+  std::vector<GateId> order_;
+  std::vector<std::uint64_t> good_;
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> stamp_;  // faulty_ validity stamp
+  std::uint32_t current_stamp_ = 0;
+};
+
+/// Fraction of `faults` detected by the given test set (each entry is a
+/// full PI assignment). Used by the test-generation reports.
+double fault_coverage(const Network& net, const std::vector<Fault>& faults,
+                      const std::vector<std::vector<bool>>& tests);
+
+}  // namespace kms

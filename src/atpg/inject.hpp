@@ -1,0 +1,19 @@
+// Fault injection into a copy of a network.
+//
+// Used by the Section III "speedtest" demonstration: the delay of the
+// carry-skip adder *in the presence of* the redundant skip-AND stuck-at-0
+// fault is the ripple delay, longer than the fault-free critical path —
+// which is why the redundant design needs a speed test and the KMS
+// result does not.
+#pragma once
+
+#include "src/atpg/fault.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+/// A copy of `net` with the fault permanently asserted (the faulty
+/// machine). Gate/connection ids of the copy match the original's.
+Network inject_fault(const Network& net, const Fault& fault);
+
+}  // namespace kms

@@ -1,0 +1,67 @@
+#include "src/atpg/redundancy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/fault_sim.hpp"
+#include "src/netlist/transform.hpp"
+
+namespace kms {
+
+void apply_redundancy_removal(Network& net, const Fault& fault) {
+  if (fault.site == Fault::Site::kStem) {
+    if (net.gate(fault.gate).kind == GateKind::kInput) {
+      // A primary input stays part of the interface; assert the stuck
+      // value on its fanout wires instead of replacing the pin.
+      auto fanouts = net.gate(fault.gate).fanouts;  // copy: we reroute
+      for (ConnId c : fanouts)
+        if (!net.conn(c).dead) net.set_conn_constant(c, fault.stuck);
+    } else {
+      net.convert_to_constant(fault.gate, fault.stuck);
+    }
+  } else {
+    net.set_conn_constant(fault.conn, fault.stuck);
+  }
+}
+
+RedundancyRemovalResult remove_redundancies(
+    Network& net, const RedundancyRemovalOptions& opts) {
+  RedundancyRemovalResult result;
+  Rng rng(opts.seed);
+  for (;;) {
+    ++result.passes;
+    auto faults = collapsed_faults(net);
+    std::vector<bool> skip(faults.size(), false);
+    if (opts.use_fault_sim && !faults.empty() && !net.inputs().empty()) {
+      FaultSimulator sim(net);
+      skip = sim.detect_random(faults, opts.random_words, rng);
+    }
+    // Scan order policy (the result is always a fully testable,
+    // equivalent circuit; only the intermediate choices differ).
+    std::vector<std::size_t> order(faults.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (opts.order == RemovalOrder::kReverse) {
+      std::reverse(order.begin(), order.end());
+    } else if (opts.order == RemovalOrder::kRandom) {
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    Atpg atpg(net);
+    bool removed_one = false;
+    for (std::size_t i : order) {
+      if (skip[i]) continue;
+      ++result.sat_queries;
+      if (atpg.is_testable(faults[i])) continue;
+      apply_redundancy_removal(net, faults[i]);
+      simplify(net);
+      ++result.removed;
+      removed_one = true;
+      break;  // structure changed: recompute the fault list
+    }
+    if (!removed_one) break;
+  }
+  return result;
+}
+
+}  // namespace kms

@@ -1,0 +1,55 @@
+// ATPG-driven redundancy removal (the conventional procedure, per [22]).
+//
+// Repeatedly finds an untestable stuck-at fault, asserts the stuck value
+// at the fault site (which cannot change the circuit function — that is
+// what untestable means), propagates constants, sweeps, and recomputes
+// the remaining redundancies, exactly as the paper prescribes: "The
+// redundancies are removed one at a time, and the remaining circuit
+// redundancies must be recomputed after each removal."
+//
+// This is both (a) the final phase of the KMS algorithm, run once some
+// longest path is sensitizable, and (b) the *naive* baseline whose
+// delay behaviour on carry-skip adders motivates the whole paper: run
+// on a carry-skip adder directly, it deletes the skip chain and the
+// circuit slows down to ripple speed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/atpg/fault.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+/// Scan order for the removal loop. The paper: "the remaining
+/// redundancies may be removed in any order without increasing the
+/// delay of the circuit" — the policies exist to demonstrate exactly
+/// that (see bench_removal_order).
+enum class RemovalOrder { kForward, kReverse, kRandom };
+
+struct RedundancyRemovalOptions {
+  /// Use random-pattern fault simulation to pre-drop detectable faults
+  /// before exact ATPG (big speedup, no effect on the result).
+  bool use_fault_sim = true;
+  /// Number of 64-pattern words of random stimulus for the pre-drop.
+  std::size_t random_words = 8;
+  RemovalOrder order = RemovalOrder::kForward;
+  std::uint64_t seed = 0x5EEDull;
+};
+
+struct RedundancyRemovalResult {
+  std::size_t removed = 0;      ///< redundant faults asserted constant
+  std::size_t passes = 0;       ///< full fault-list scans
+  std::size_t sat_queries = 0;  ///< exact ATPG calls
+};
+
+/// Remove every single stuck-at redundancy from `net` (in first-found
+/// order). On return the network is fully single-stuck-at testable.
+RedundancyRemovalResult remove_redundancies(
+    Network& net, const RedundancyRemovalOptions& opts = {});
+
+/// Assert the stuck value at one untestable fault's site. The caller
+/// must know the fault is untestable; the function only rewires.
+void apply_redundancy_removal(Network& net, const Fault& fault);
+
+}  // namespace kms

@@ -1,0 +1,139 @@
+#include "src/atpg/testgen.hpp"
+
+#include <algorithm>
+
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/fault_sim.hpp"
+#include "src/base/rng.hpp"
+
+namespace kms {
+namespace {
+
+/// Mark every fault in `detected` that any of `vectors` detects, and
+/// return the indices of vectors that detected something new ("useful").
+std::vector<std::size_t> mark_detected(
+    const Network& net, const std::vector<Fault>& faults,
+    const std::vector<std::vector<bool>>& vectors,
+    std::vector<bool>* detected) {
+  FaultSimulator sim(net);
+  const std::size_t n_pi = net.inputs().size();
+  std::vector<std::size_t> useful;
+  for (std::size_t base = 0; base < vectors.size(); base += 64) {
+    const std::size_t in_pass =
+        std::min<std::size_t>(64, vectors.size() - base);
+    std::vector<std::uint64_t> words(n_pi, 0);
+    for (std::size_t k = 0; k < in_pass; ++k)
+      for (std::size_t i = 0; i < n_pi; ++i)
+        if (vectors[base + k][i]) words[i] |= 1ull << k;
+    const auto masks = sim.detect_words(faults, words);
+    std::uint64_t used_bits = 0;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if ((*detected)[f]) continue;
+      std::uint64_t m = masks[f];
+      if (in_pass < 64) m &= (1ull << in_pass) - 1;
+      if (m == 0) continue;
+      (*detected)[f] = true;
+      used_bits |= m & (~m + 1);  // credit the first detecting pattern
+    }
+    for (std::size_t k = 0; k < in_pass; ++k)
+      if (used_bits & (1ull << k)) useful.push_back(base + k);
+  }
+  return useful;
+}
+
+}  // namespace
+
+TestSet generate_test_set(const Network& net, const TestGenOptions& opts) {
+  TestSet set;
+  const auto faults = collapsed_faults(net);
+  const std::size_t n_pi = net.inputs().size();
+  std::vector<bool> detected(faults.size(), false);
+  Rng rng(opts.seed);
+
+  // Phase 1: random patterns; keep only those that detect a new fault.
+  {
+    FaultSimulator sim(net);
+    for (std::size_t w = 0; w < opts.random_words; ++w) {
+      std::vector<std::uint64_t> words(n_pi);
+      for (auto& x : words) x = rng.next_u64();
+      const auto masks = sim.detect_words(faults, words);
+      std::uint64_t useful_bits = 0;
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (detected[f] || masks[f] == 0) continue;
+        detected[f] = true;
+        useful_bits |= masks[f] & (~masks[f] + 1);
+      }
+      for (std::size_t k = 0; k < 64; ++k) {
+        if (!(useful_bits & (1ull << k))) continue;
+        std::vector<bool> v(n_pi);
+        for (std::size_t i = 0; i < n_pi; ++i) v[i] = (words[i] >> k) & 1;
+        set.vectors.push_back(std::move(v));
+      }
+    }
+  }
+
+  // Phase 2: exact ATPG for the survivors, with fault dropping.
+  Atpg atpg(net);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (detected[f]) continue;
+    auto test = atpg.generate_test(faults[f]);
+    if (!test) {
+      ++set.redundant_faults;
+      continue;
+    }
+    detected[f] = true;
+    // Drop every other fault the new vector happens to detect.
+    std::vector<bool> drop(faults.size(), false);
+    mark_detected(net, faults, {*test}, &drop);
+    for (std::size_t g = 0; g < faults.size(); ++g)
+      if (drop[g]) detected[g] = true;
+    set.vectors.push_back(std::move(*test));
+  }
+  set.testable_faults = faults.size() - set.redundant_faults;
+
+  // Phase 3: reverse-order compaction — later (ATPG) vectors tend to be
+  // the most specific; replaying in reverse keeps them and sheds the
+  // now-covered random patterns.
+  if (opts.compact && !set.vectors.empty()) {
+    std::vector<std::vector<bool>> reversed(set.vectors.rbegin(),
+                                            set.vectors.rend());
+    std::vector<bool> covered(faults.size(), false);
+    // Redundant faults can never be covered; pre-mark them.
+    {
+      Atpg dummy(net);
+      (void)dummy;
+      std::vector<bool> reach(faults.size(), false);
+      mark_detected(net, faults, reversed, &reach);
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        if (!reach[f]) covered[f] = true;  // undetectable by this set
+    }
+    std::vector<std::vector<bool>> kept;
+    for (const auto& v : reversed) {
+      std::vector<bool> before = covered;
+      const auto useful = mark_detected(net, faults, {v}, &covered);
+      bool new_detection = false;
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        if (covered[f] && !before[f]) new_detection = true;
+      if (new_detection)
+        kept.push_back(v);
+      else
+        covered = std::move(before);
+      (void)useful;
+    }
+    set.vectors = std::move(kept);
+  }
+
+  // Verify the final coverage by fault simulation (never assume).
+  std::vector<bool> final_detected(faults.size(), false);
+  mark_detected(net, faults, set.vectors, &final_detected);
+  std::size_t count = 0;
+  for (bool d : final_detected)
+    if (d) ++count;
+  set.coverage = set.testable_faults == 0
+                     ? 1.0
+                     : static_cast<double>(count) /
+                           static_cast<double>(set.testable_faults);
+  return set;
+}
+
+}  // namespace kms

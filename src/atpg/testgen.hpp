@@ -1,0 +1,38 @@
+// Complete stuck-at test set generation.
+//
+// The paper's payoff is a circuit that needs no speedtest — just a
+// conventional stuck-at test set. This module produces that test set:
+// a greedy random-pattern phase (keep only patterns that detect new
+// faults), exact SAT ATPG for the survivors with test-set fault
+// dropping, and an optional reverse-order compaction pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/atpg/fault.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct TestGenOptions {
+  /// 64-pattern words of random stimulus tried in the first phase.
+  std::size_t random_words = 8;
+  /// Reverse-order compaction after generation.
+  bool compact = true;
+  std::uint64_t seed = 0x7E57ull;
+};
+
+struct TestSet {
+  std::vector<std::vector<bool>> vectors;  ///< PI assignments
+  std::size_t testable_faults = 0;
+  std::size_t redundant_faults = 0;        ///< untestable (no vector exists)
+  /// Coverage of the testable faults by `vectors` (1.0 when ATPG ran to
+  /// completion — verified by fault simulation, not assumed).
+  double coverage = 0.0;
+};
+
+/// Generate a test set detecting every testable collapsed fault.
+TestSet generate_test_set(const Network& net, const TestGenOptions& opts = {});
+
+}  // namespace kms

@@ -1,0 +1,56 @@
+// Strongly typed integer ids used throughout the library.
+//
+// Gates and connections are referred to by index into their owning
+// Network. Wrapping the index in a distinct type prevents a GateId from
+// being passed where a ConnId is expected (and vice versa), at zero cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace kms {
+
+/// CRTP-free strongly typed id. `Tag` distinguishes id families.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool is_valid() const { return value_ != kInvalid; }
+
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct GateTag {};
+struct ConnTag {};
+struct FaultTag {};
+struct VarTag {};
+
+using GateId = Id<GateTag>;
+using ConnId = Id<ConnTag>;
+using FaultId = Id<FaultTag>;
+
+}  // namespace kms
+
+namespace std {
+template <typename Tag>
+struct hash<kms::Id<Tag>> {
+  size_t operator()(kms::Id<Tag> id) const noexcept {
+    return std::hash<typename kms::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

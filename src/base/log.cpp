@@ -1,0 +1,32 @@
+#include "src/base/log.hpp"
+
+#include <cstdio>
+
+namespace kms {
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "[info] ";
+    case LogLevel::kDebug:
+      return "[debug] ";
+    case LogLevel::kTrace:
+      return "[trace] ";
+    default:
+      return "";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "%s%s\n", prefix(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace kms

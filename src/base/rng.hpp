@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (random simulation vectors,
+// random circuit generation, SAT decision noise) draw from this generator
+// so that every run is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace kms {
+
+/// xoshiro256** — fast, high-quality, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace kms

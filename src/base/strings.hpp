@@ -1,0 +1,23 @@
+// Small string utilities used by the BLIF/PLA parsers and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kms {
+
+/// Split on runs of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view line);
+
+/// Trim leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace kms

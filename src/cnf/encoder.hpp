@@ -1,0 +1,63 @@
+// Tseitin encoding of logic networks into CNF.
+//
+// Every live gate gets a SAT variable constrained to equal the gate's
+// function of its fanin variables. On top of the plain encoding this
+// module provides the two composite encodings the library needs:
+//
+//  * miter(a, b)            — equivalence checking (Section VI safety net):
+//                             SAT iff some input distinguishes a and b.
+//  * GoodFaultyEncoding     — SAT-based ATPG (Section VI "remaining
+//                             redundancies are removed ... using any
+//                             redundancy removal scheme such as [22]"):
+//                             the fault's output cone is duplicated with
+//                             the fault injected; SAT iff a test exists.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/netlist/network.hpp"
+#include "src/sat/solver.hpp"
+
+namespace kms {
+
+/// CNF encoding of one network inside a Solver.
+class CircuitEncoding {
+ public:
+  /// Encode every live gate of `net` into `solver`.
+  CircuitEncoding(const Network& net, sat::Solver& solver);
+
+  sat::Var var_of(GateId g) const { return vars_[g.value()]; }
+  sat::Lit lit_of(GateId g, bool negated = false) const {
+    return sat::Lit(var_of(g), negated);
+  }
+
+  const Network& network() const { return net_; }
+  sat::Solver& solver() const { return solver_; }
+
+  /// Extract the primary-input assignment from the solver's model
+  /// (after a kSat solve), in net.inputs() order.
+  std::vector<bool> model_inputs() const;
+
+ private:
+  const Network& net_;
+  sat::Solver& solver_;
+  std::vector<sat::Var> vars_;
+};
+
+/// Add clauses constraining `out_var` to equal gate function `kind` over
+/// `fanin_lits`. Shared by all encodings.
+void encode_gate(sat::Solver& solver, GateKind kind, sat::Var out_var,
+                 const std::vector<sat::Lit>& fanin_lits);
+
+/// Equivalence miter: returns a counterexample input assignment if the
+/// networks differ (matched positionally by PI/PO), or std::nullopt if
+/// they are equivalent. Interfaces must match in size.
+std::optional<std::vector<bool>> sat_inequivalence(const Network& a,
+                                                   const Network& b);
+
+/// Convenience wrapper with a boolean answer.
+bool sat_equivalent(const Network& a, const Network& b);
+
+}  // namespace kms

@@ -1,0 +1,142 @@
+#include "src/core/kms.hpp"
+
+#include <cassert>
+
+#include "src/base/log.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/path.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+std::size_t live_fanout(const Network& net, GateId g) {
+  std::size_t n = 0;
+  for (ConnId c : net.gate(g).fanouts)
+    if (!net.conn(c).dead) ++n;
+  return n;
+}
+
+/// Duplicate the gates of `p` from its start up to and including index
+/// `n_index` (the gate closest to the output with fanout > 1), and move
+/// the on-path fanout edge of that gate to the duplicate. Returns the
+/// rewritten path P' (all of whose gates have fanout exactly one).
+/// The number of copied gates is added to *duplicated.
+Path duplicate_prefix(Network& net, const Path& p, std::size_t n_index,
+                      std::size_t* duplicated) {
+  Path out = p;
+  GateId prev_dup = GateId::invalid();
+  for (std::size_t j = 0; j <= n_index; ++j) {
+    const GateId orig = p.gates[j];
+    // Pin position of the on-path fanin before any surgery on the dup.
+    const std::size_t pin = net.pin_of(p.conns[j]);
+    const GateId dup = net.duplicate_gate(orig);
+    ++*duplicated;
+    if (j > 0) {
+      // The copied on-path fanin still points at the original previous
+      // gate; reroute it to the previous duplicate.
+      const ConnId copied = net.gate(dup).fanins[pin];
+      net.reroute_source(copied, prev_dup);
+    }
+    out.conns[j] = net.gate(dup).fanins[pin];
+    out.gates[j] = dup;
+    prev_dup = dup;
+  }
+  // Move edge e — the fanout connection of gate n that lies on P — to be
+  // the single fanout of n'.
+  net.reroute_source(p.conns[n_index + 1], prev_dup);
+  return out;
+}
+
+}  // namespace
+
+KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
+  KmsStats stats;
+  stats.decomposed_complex = decompose_to_simple(net);
+
+  stats.initial_gates = net.count_gates();
+  stats.initial_topo_delay = topological_delay(net);
+  stats.initial_max_fanout = net.max_fanout();
+  {
+    const DelayReport r = computed_delay(net, opts.mode);
+    stats.initial_computed_delay = r.delay;
+  }
+
+  while (stats.iterations < opts.max_iterations) {
+    // Fig. 3 tests whether ALL longest paths are unsensitizable before
+    // transforming; the theorems, however, only require the *chosen*
+    // path P to be a longest path that is not sensitizable (Theorem
+    // 7.2's premise). So the loop examines one longest path per
+    // iteration: if it sensitizes, some longest path is sensitizable
+    // and the loop exits exactly as Fig. 3 would; if it does not,
+    // transforming it is valid regardless of the other longest paths'
+    // status (at worst we perform transformations Fig. 3 would have
+    // skipped — each removes a false path and keeps both invariants).
+    PathEnumerator en(net);
+    auto chosen = en.next();
+    if (!chosen) break;  // no IO-paths left at all
+    Path path = std::move(*chosen);
+
+    Sensitizer sens(net, opts.mode);
+    const bool path_sensitizable = sens.check(path).has_value();
+    stats.sensitization_queries += sens.queries();
+    if (path_sensitizable) break;
+    KMS_LOG(kDebug) << "kms: transforming longest path (len=" << path.length
+                    << "): " << format_path(net, path);
+
+    // Find n, the gate in P closest to the output with fanout > 1. The
+    // trailing kOutput marker is not a gate (it has no fanout anyway).
+    std::ptrdiff_t n_index = -1;
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(path.gates.size()) - 1;
+         i >= 0; --i) {
+      const GateId g = path.gates[static_cast<std::size_t>(i)];
+      if (net.gate(g).kind == GateKind::kOutput) continue;
+      if (live_fanout(net, g) > 1) {
+        n_index = i;
+        break;
+      }
+    }
+    Path pp =
+        n_index >= 0
+            ? duplicate_prefix(net, path, static_cast<std::size_t>(n_index),
+                               &stats.duplicated_gates)
+            : path;
+
+    // Fig. 3 re-tests "If P' is not statically sensitizable" here. The
+    // test above already established it: P is not sensitizable under
+    // the loop condition (and not-viable implies not-statically-
+    // sensitizable), and by Theorem 7.1 the duplication preserved every
+    // side-input function and path length, so P' inherits the verdict.
+
+    // Set the first edge of P' to a constant — prefer the controlling
+    // value of the gate it feeds, which deletes that gate — and
+    // propagate as far as possible, removing useless gates.
+    const GateId g0 = pp.gates[0];
+    const GateKind k0 = net.gate(g0).kind;
+    const bool value = has_controlling_value(k0) ? controlling_value(k0)
+                                                 : false;
+    net.set_conn_constant(pp.conns[0], value);
+    propagate_constants(net);
+    collapse_buffers(net);
+    net.sweep();
+    ++stats.constants_set;
+    ++stats.iterations;
+  }
+
+  stats.iteration_cap_hit = stats.iterations >= opts.max_iterations;
+  if (opts.remove_remaining) {
+    const RedundancyRemovalResult r = remove_redundancies(net, opts.removal);
+    stats.redundancies_removed = r.removed;
+  }
+
+  stats.final_gates = net.count_gates();
+  stats.final_topo_delay = topological_delay(net);
+  stats.final_max_fanout = net.max_fanout();
+  {
+    const DelayReport r = computed_delay(net, opts.mode);
+    stats.final_computed_delay = r.delay;
+  }
+  return stats;
+}
+
+}  // namespace kms

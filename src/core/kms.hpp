@@ -1,0 +1,70 @@
+// The KMS algorithm (Keutzer–Malik–Saldanha): redundancy removal with no
+// increase in delay — Fig. 3 of the paper.
+//
+//   while (all longest paths are not statically sensitizable / viable) {
+//     choose a longest path P
+//     n := the gate in P closest to the output with fanout > 1
+//     if n exists: duplicate the gates of P up to n (and their fanin
+//       connections); move P's fanout edge of n to the duplicate n'
+//     if P' is not statically sensitizable:
+//       set the first edge of P' to a constant; propagate it
+//   }
+//   remove the remaining redundancies in any order
+//
+// The loop maintains the invariant (Theorems 7.1 / 7.2) that the
+// network's computed delay never increases; once some longest path is
+// sensitizable it is the critical path, redundancy removal can only
+// delete paths, and the final ATPG-based phase is unconditionally safe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/atpg/redundancy.hpp"
+#include "src/netlist/network.hpp"
+#include "src/timing/sensitize.hpp"
+
+namespace kms {
+
+struct KmsOptions {
+  /// Condition used in the while-loop test (Section VI: the user may
+  /// choose static sensitization or viability; the delay proofs hold
+  /// for both, viability merely avoids some unnecessary duplications).
+  SensitizationMode mode = SensitizationMode::kStatic;
+
+  /// Safety caps. `max_queries` bounds the SAT work of each
+  /// iteration's branch-and-bound longest-sensitizable-path search; if
+  /// it is exhausted the loop stops transforming (flagged in the
+  /// stats) and falls through to plain removal.
+  std::size_t max_iterations = 100000;
+  std::size_t max_queries = 200000;
+
+  /// Options for the final conventional redundancy-removal phase.
+  RedundancyRemovalOptions removal;
+
+  /// Run the final removal phase (disable to study the loop alone).
+  bool remove_remaining = true;
+};
+
+struct KmsStats {
+  std::size_t iterations = 0;        ///< while-loop transformations
+  std::size_t duplicated_gates = 0;  ///< gates copied by the duplication step
+  std::size_t constants_set = 0;     ///< first edges asserted constant
+  std::size_t redundancies_removed = 0;  ///< final-phase removals
+  std::size_t sensitization_queries = 0;
+  std::size_t decomposed_complex = 0;
+  bool path_cap_hit = false;       ///< sensitization query budget exhausted
+  bool iteration_cap_hit = false;  ///< loop stopped by max_iterations
+
+  // Before/after bookkeeping (Table I columns).
+  std::size_t initial_gates = 0, final_gates = 0;
+  double initial_topo_delay = 0, final_topo_delay = 0;
+  double initial_computed_delay = 0, final_computed_delay = 0;
+  std::size_t initial_max_fanout = 0, final_max_fanout = 0;
+};
+
+/// Make `net` fully single-stuck-at testable without increasing its
+/// computed delay. Complex gates are decomposed first (Section VI).
+KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts = {});
+
+}  // namespace kms

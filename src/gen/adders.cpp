@@ -1,0 +1,135 @@
+#include "src/gen/adders.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace kms {
+namespace {
+
+struct AdderIo {
+  std::vector<GateId> a, b, s;
+  GateId cin, carry;
+};
+
+/// Shared input/sum scaffolding; `carry` tracks the running carry.
+AdderIo make_inputs(Network& net, std::size_t bits,
+                    const AdderOptions& opts) {
+  AdderIo io;
+  for (std::size_t i = 0; i < bits; ++i)
+    io.a.push_back(net.add_input("a" + std::to_string(i)));
+  for (std::size_t i = 0; i < bits; ++i)
+    io.b.push_back(net.add_input("b" + std::to_string(i)));
+  io.cin = net.add_input("cin", opts.cin_arrival);
+  io.carry = io.cin;
+  return io;
+}
+
+/// One ripple full-adder bit: returns the carry-out; appends the sum.
+/// p = a xor b; s = p xor c; cout = (a & b) | (p & c)  — Fig. 1 gates.
+GateId ripple_bit(Network& net, const AdderOptions& opts, GateId a, GateId b,
+                  GateId c, std::size_t i, std::vector<GateId>* sums,
+                  GateId* propagate_out) {
+  const std::string n = std::to_string(i);
+  const GateId p =
+      net.add_gate(GateKind::kXor, {a, b}, opts.xor_mux_delay, "p" + n);
+  const GateId s =
+      net.add_gate(GateKind::kXor, {p, c}, opts.xor_mux_delay, "sum" + n);
+  sums->push_back(s);
+  const GateId g =
+      net.add_gate(GateKind::kAnd, {a, b}, opts.and_or_delay, "g" + n);
+  const GateId t =
+      net.add_gate(GateKind::kAnd, {p, c}, opts.and_or_delay, "t" + n);
+  const GateId cout =
+      net.add_gate(GateKind::kOr, {g, t}, opts.and_or_delay, "c" + n);
+  if (propagate_out) *propagate_out = p;
+  return cout;
+}
+
+}  // namespace
+
+Network ripple_carry_adder(std::size_t bits, const AdderOptions& opts) {
+  assert(bits > 0);
+  Network net("rca" + std::to_string(bits));
+  AdderIo io = make_inputs(net, bits, opts);
+  std::vector<GateId> sums;
+  for (std::size_t i = 0; i < bits; ++i)
+    io.carry = ripple_bit(net, opts, io.a[i], io.b[i], io.carry, i, &sums,
+                          nullptr);
+  for (std::size_t i = 0; i < bits; ++i)
+    net.add_output("s" + std::to_string(i), sums[i]);
+  net.add_output("cout", io.carry);
+  return net;
+}
+
+Network carry_skip_adder_blocks(const std::vector<std::size_t>& blocks,
+                                const AdderOptions& opts) {
+  std::size_t bits = 0;
+  for (std::size_t k : blocks) {
+    assert(k > 0);
+    bits += k;
+  }
+  Network net("csa");
+  AdderIo io = make_inputs(net, bits, opts);
+  std::vector<GateId> sums;
+  std::size_t bit = 0;
+  for (std::size_t blk = 0; blk < blocks.size(); ++blk) {
+    const GateId block_cin = io.carry;
+    std::vector<GateId> propagates;
+    GateId carry = block_cin;
+    for (std::size_t j = 0; j < blocks[blk]; ++j, ++bit) {
+      GateId p;
+      carry = ripple_bit(net, opts, io.a[bit], io.b[bit], carry, bit, &sums,
+                         &p);
+      propagates.push_back(p);
+    }
+    // Skip condition: AND of all propagate bits of the block (gate 10 of
+    // Fig. 1); a 1-bit block skips on its single propagate directly.
+    GateId skip;
+    if (propagates.size() == 1) {
+      skip = propagates[0];
+    } else {
+      skip = net.add_gate(GateKind::kAnd, propagates, opts.and_or_delay,
+                          "skip" + std::to_string(blk));
+    }
+    // MUX(skip, block_cin, ripple carry) — the carry bypass.
+    io.carry = net.add_gate(GateKind::kMux, {skip, block_cin, carry},
+                            opts.xor_mux_delay,
+                            "bypass" + std::to_string(blk));
+  }
+  for (std::size_t i = 0; i < bits; ++i)
+    net.add_output("s" + std::to_string(i), sums[i]);
+  net.add_output("cout", io.carry);
+  return net;
+}
+
+Network carry_skip_adder(std::size_t bits, std::size_t block_size,
+                         const AdderOptions& opts) {
+  assert(bits > 0 && block_size > 0);
+  std::vector<std::size_t> blocks;
+  for (std::size_t done = 0; done < bits;) {
+    const std::size_t k = std::min(block_size, bits - done);
+    blocks.push_back(k);
+    done += k;
+  }
+  Network net = carry_skip_adder_blocks(blocks, opts);
+  net.set_name("csa" + std::to_string(bits) + "." +
+               std::to_string(block_size));
+  return net;
+}
+
+void apply_unit_delays(Network& net) {
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    Gate& g = net.gate(GateId{i});
+    if (g.dead) continue;
+    if (is_logic(g.kind) && !is_constant(g.kind) && g.kind != GateKind::kBuf)
+      g.delay = 1.0;
+    else if (g.kind != GateKind::kInput)
+      g.delay = 0.0;
+  }
+  for (std::uint32_t i = 0; i < net.conn_capacity(); ++i) {
+    Conn& c = net.conn(ConnId{i});
+    if (!c.dead) c.delay = 0.0;
+  }
+}
+
+}  // namespace kms

@@ -1,0 +1,46 @@
+// Adder generators (Section III of the paper).
+//
+// The carry-skip adder follows Fig. 1 exactly: a ripple-carry adder per
+// block, one propagate-AND (gate 10) and one carry-skip MUX per block.
+// The skip chain is what makes the adder fast *and* what introduces the
+// single stuck-at-0 redundancy on the propagate-AND output — the
+// motivating circuit family of the paper ("we have only found one real
+// family of circuits ... with stuck-at-fault redundancies and no viable
+// longest path").
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct AdderOptions {
+  /// Gate delays as in the Section III example: "a gate delay of 1 for
+  /// the AND and OR gates and gate delays of 2 for the XOR and MUX".
+  double and_or_delay = 1.0;
+  double xor_mux_delay = 2.0;
+  /// Arrival time of the carry-in primary input (the example uses 5).
+  double cin_arrival = 0.0;
+};
+
+/// n-bit ripple-carry adder: inputs a0..a(n-1), b0..b(n-1), cin;
+/// outputs s0..s(n-1), cout.
+Network ripple_carry_adder(std::size_t bits, const AdderOptions& opts = {});
+
+/// Carry-skip adder with explicit block sizes (sum = total bits).
+Network carry_skip_adder_blocks(const std::vector<std::size_t>& blocks,
+                                const AdderOptions& opts = {});
+
+/// Carry-skip adder of `bits` bits in equal blocks of `block_size` (the
+/// paper's csa <bits>.<block_size> naming; a trailing smaller block is
+/// used if block_size does not divide bits).
+Network carry_skip_adder(std::size_t bits, std::size_t block_size,
+                         const AdderOptions& opts = {});
+
+/// Set every live logic gate's delay to 1 (buffers and constants 0) and
+/// every connection's delay to 0 — the "unit gate delay model" used for
+/// Table I. Input arrival times are left untouched.
+void apply_unit_delays(Network& net);
+
+}  // namespace kms

@@ -1,0 +1,35 @@
+// Seeded random multi-level logic and small arithmetic workloads.
+//
+// Used by the property tests (thousands of distinct circuits from one
+// seed sweep) and as raw material for the MCNC-substitute benchmark
+// suite (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct RandomNetworkOptions {
+  std::size_t inputs = 8;
+  std::size_t outputs = 4;
+  std::size_t gates = 40;
+  std::size_t max_fanin = 3;
+  /// Probability that a gate picks a recent signal (controls depth).
+  double locality = 0.7;
+  std::uint64_t seed = 1;
+  bool allow_xor = true;
+};
+
+/// Random combinational DAG of simple gates (plus XOR when allowed),
+/// unit gate delays, all arrivals zero. Deterministic in the seed.
+Network random_network(const RandomNetworkOptions& opts);
+
+/// n-input XOR parity tree (balanced, 2-input XOR gates, unit delays).
+Network parity_tree(std::size_t inputs);
+
+/// n-bit magnitude comparator: output gt = (a > b), eq = (a == b).
+Network comparator(std::size_t bits);
+
+}  // namespace kms

@@ -1,0 +1,83 @@
+#include "src/gen/suite.hpp"
+
+#include <stdexcept>
+
+#include <cmath>
+
+#include "src/atpg/redundancy.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/opt/opt.hpp"
+#include "src/pla/pla.hpp"
+
+namespace kms {
+
+const std::vector<SuiteSpec>& benchmark_suite() {
+  // Shapes follow the MCNC namesakes (inputs/outputs exact, cube counts
+  // in the same ballpark). Seeds are arbitrary but fixed.
+  static const std::vector<SuiteSpec> kSuite = {
+      {"s5xp1", 7, 10, 75, 0x5C51, 2.0},
+      {"sclip", 9, 5, 120, 0xC11F, 2.0},
+      {"sduke2", 22, 29, 87, 0xD0CE, 3.0},
+      {"sf51m", 8, 8, 77, 0xF51A, 2.0},
+      {"smisex1", 8, 7, 32, 0x3153, 2.0},
+      {"smisex2", 25, 18, 29, 0x3154, 3.0},
+      {"srd73", 7, 3, 141, 0x4D73, 2.0},
+      {"ssao2", 10, 4, 58, 0x5A02, 2.0},
+      {"sz4ml", 7, 4, 59, 0x24F1, 2.0},
+  };
+  return kSuite;
+}
+
+const SuiteSpec& suite_spec(const std::string& name) {
+  for (const SuiteSpec& s : benchmark_suite())
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown suite circuit: " + name);
+}
+
+Network build_suite_circuit(const SuiteSpec& spec, bool delay_optimized) {
+  RandomPlaOptions popts;
+  popts.inputs = spec.inputs;
+  popts.outputs = spec.outputs;
+  popts.cubes = spec.cubes;
+  popts.seed = spec.seed;
+  // Pick the per-cube literal count so the cover spans roughly half of
+  // the input space instead of degenerating to a constant: each cube
+  // with k care literals covers 2^-k of the space, so k ~ log2(2*cubes)
+  // keeps the union non-trivial.
+  const double k = std::min<double>(
+      static_cast<double>(spec.inputs),
+      std::log2(2.0 * static_cast<double>(spec.cubes)) + 1.0);
+  popts.literal_density = k / static_cast<double>(spec.inputs);
+  popts.output_density = 0.3;
+  Pla pla = random_pla(popts);
+  simplify_cover(pla);
+
+  Network net = pla_to_network(pla, /*gate_delay=*/1.0);
+  net.set_name(spec.name);
+  // The paper's circuits arrive at Table I area-optimized first — in
+  // particular prime-and-irredundant, so the redundancies measured
+  // afterwards are the ones the *timing* optimization introduced.
+  strash(net);
+  simplify(net);
+  balance(net);
+  strash(net);
+  RedundancyRemovalOptions ropts;
+  ropts.seed = spec.seed;
+  remove_redundancies(net, ropts);
+
+  if (delay_optimized) {
+    // One input is late (e.g. comes from a neighbouring block); the
+    // timing optimizer chases it with Shannon cofactoring, which is the
+    // step that can introduce stuck-at redundancies.
+    if (!net.inputs().empty()) {
+      net.gate(net.inputs().back()).arrival = spec.late_arrival;
+      shannon_speedup_critical(net);
+      strash(net);
+      simplify(net);
+    }
+  }
+  return net;
+}
+
+}  // namespace kms

@@ -1,0 +1,77 @@
+#include "src/netlist/gate.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace kms {
+
+std::string_view gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+      return "input";
+    case GateKind::kOutput:
+      return "output";
+    case GateKind::kConst0:
+      return "const0";
+    case GateKind::kConst1:
+      return "const1";
+    case GateKind::kBuf:
+      return "buf";
+    case GateKind::kNot:
+      return "not";
+    case GateKind::kAnd:
+      return "and";
+    case GateKind::kOr:
+      return "or";
+    case GateKind::kNand:
+      return "nand";
+    case GateKind::kNor:
+      return "nor";
+    case GateKind::kXor:
+      return "xor";
+    case GateKind::kXnor:
+      return "xnor";
+    case GateKind::kMux:
+      return "mux";
+  }
+  return "?";
+}
+
+bool eval_gate(GateKind kind, std::uint32_t inputs, std::uint32_t n) {
+  const std::uint32_t mask = (n >= 32) ? ~0u : ((1u << n) - 1u);
+  const std::uint32_t v = inputs & mask;
+  switch (kind) {
+    case GateKind::kConst0:
+      return false;
+    case GateKind::kConst1:
+      return true;
+    case GateKind::kInput:
+    case GateKind::kOutput:
+    case GateKind::kBuf:
+      return (v & 1u) != 0;
+    case GateKind::kNot:
+      return (v & 1u) == 0;
+    case GateKind::kAnd:
+      return v == mask;
+    case GateKind::kNand:
+      return v != mask;
+    case GateKind::kOr:
+      return v != 0;
+    case GateKind::kNor:
+      return v == 0;
+    case GateKind::kXor:
+      return (std::popcount(v) & 1) != 0;
+    case GateKind::kXnor:
+      return (std::popcount(v) & 1) == 0;
+    case GateKind::kMux: {
+      assert(n == 3);
+      const bool s = (v & 1u) != 0;
+      const bool a = (v & 2u) != 0;
+      const bool b = (v & 4u) != 0;
+      return s ? a : b;
+    }
+  }
+  return false;
+}
+
+}  // namespace kms

@@ -1,0 +1,78 @@
+#include "src/netlist/write_dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "src/base/strings.hpp"
+
+namespace kms {
+namespace {
+
+std::string node_label(const Network& net, GateId g, bool show_delay) {
+  const Gate& gt = net.gate(g);
+  std::string label =
+      gt.name.empty() ? "g" + std::to_string(g.value()) : gt.name;
+  if (is_logic(gt.kind) && !is_constant(gt.kind)) {
+    label += "\\n";
+    label += gate_kind_name(gt.kind);
+    if (show_delay && gt.delay != 0.0)
+      label += str_format(" d=%g", gt.delay);
+  } else if (gt.kind == GateKind::kInput && gt.arrival != 0.0 && show_delay) {
+    label += str_format("\\n@%g", gt.arrival);
+  }
+  return label;
+}
+
+const char* node_shape(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+      return "invtriangle";
+    case GateKind::kOutput:
+      return "triangle";
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return "diamond";
+    default:
+      return "box";
+  }
+}
+
+}  // namespace
+
+void write_dot(const Network& net, std::ostream& out, const DotOptions& opts) {
+  out << "digraph \"" << (net.name().empty() ? "kms" : net.name())
+      << "\" {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (GateId g : net.topo_order()) {
+    const Gate& gt = net.gate(g);
+    out << "  n" << g.value() << " [label=\""
+        << node_label(net, g, opts.show_delays) << "\" shape="
+        << node_shape(gt.kind) << "];\n";
+  }
+  for (std::uint32_t i = 0; i < net.conn_capacity(); ++i) {
+    const ConnId c{i};
+    const Conn& cn = net.conn(c);
+    if (cn.dead) continue;
+    const bool hot = std::find(opts.highlight.begin(), opts.highlight.end(),
+                               c) != opts.highlight.end();
+    out << "  n" << cn.from.value() << " -> n" << cn.to.value();
+    std::string attrs;
+    if (hot) attrs += "color=red penwidth=2 ";
+    if (opts.show_delays && cn.delay != 0.0)
+      attrs += str_format("label=\"%g\" ", cn.delay);
+    if (!attrs.empty()) {
+      attrs.pop_back();
+      out << " [" << attrs << "]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string write_dot_string(const Network& net, const DotOptions& opts) {
+  std::ostringstream out;
+  write_dot(net, out, opts);
+  return out.str();
+}
+
+}  // namespace kms

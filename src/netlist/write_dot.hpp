@@ -1,0 +1,28 @@
+// Graphviz export for debugging and documentation.
+//
+// Renders the network as a left-to-right DAG; optionally highlights a
+// path (e.g. the false longest path of Fig. 1 versus the critical
+// path) so the Section III figures can be regenerated visually.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct DotOptions {
+  /// Connections to draw bold/red (e.g. a Path's conns).
+  std::vector<ConnId> highlight;
+  /// Annotate gates with their delay.
+  bool show_delays = true;
+};
+
+void write_dot(const Network& net, std::ostream& out,
+               const DotOptions& opts = {});
+std::string write_dot_string(const Network& net, const DotOptions& opts = {});
+
+}  // namespace kms

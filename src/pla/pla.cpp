@@ -1,0 +1,238 @@
+#include "src/pla/pla.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/base/rng.hpp"
+#include "src/base/strings.hpp"
+
+namespace kms {
+
+std::string Pla::check() const {
+  for (const PlaCube& c : cubes) {
+    if (c.in.size() != num_inputs) return "cube input width mismatch";
+    if (c.out.size() != num_outputs) return "cube output width mismatch";
+    for (char ch : c.in)
+      if (ch != '0' && ch != '1' && ch != '-') return "bad input literal";
+    for (char ch : c.out)
+      if (ch != '0' && ch != '1') return "bad output literal";
+  }
+  return {};
+}
+
+Pla read_pla(std::istream& in) {
+  Pla pla;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    const auto tok = split_ws(raw);
+    if (tok.empty()) continue;
+    if (tok[0] == ".i") {
+      pla.num_inputs = std::stoul(tok.at(1));
+    } else if (tok[0] == ".o") {
+      pla.num_outputs = std::stoul(tok.at(1));
+    } else if (tok[0] == ".ilb") {
+      pla.input_names.assign(tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".ob") {
+      pla.output_names.assign(tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".p") {
+      // informational; cube count is implied by the lines
+    } else if (tok[0] == ".e" || tok[0] == ".end") {
+      break;
+    } else if (tok[0][0] == '.') {
+      throw PlaError("unsupported PLA directive: " + tok[0]);
+    } else {
+      if (tok.size() != 2) throw PlaError("bad cube line: " + raw);
+      PlaCube cube{tok[0], tok[1]};
+      // Espresso 'fd' type: output '-' means don't-care; treat as '0'
+      // (off) for this reproduction's purposes.
+      for (char& ch : cube.out)
+        if (ch == '-' || ch == '~') ch = '0';
+      pla.cubes.push_back(std::move(cube));
+    }
+  }
+  if (const std::string err = pla.check(); !err.empty()) throw PlaError(err);
+  return pla;
+}
+
+Pla read_pla_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_pla(in);
+}
+
+void write_pla(const Pla& pla, std::ostream& out) {
+  out << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n";
+  if (!pla.input_names.empty()) {
+    out << ".ilb";
+    for (const auto& n : pla.input_names) out << " " << n;
+    out << "\n";
+  }
+  if (!pla.output_names.empty()) {
+    out << ".ob";
+    for (const auto& n : pla.output_names) out << " " << n;
+    out << "\n";
+  }
+  out << ".p " << pla.cubes.size() << "\n";
+  for (const PlaCube& c : pla.cubes) out << c.in << " " << c.out << "\n";
+  out << ".e\n";
+}
+
+Pla random_pla(const RandomPlaOptions& opts) {
+  Rng rng(opts.seed);
+  Pla pla;
+  pla.name = "rpla" + std::to_string(opts.seed);
+  pla.num_inputs = opts.inputs;
+  pla.num_outputs = opts.outputs;
+  for (std::size_t k = 0; k < opts.cubes; ++k) {
+    PlaCube cube;
+    cube.in.resize(opts.inputs, '-');
+    bool any_care = false;
+    for (std::size_t i = 0; i < opts.inputs; ++i) {
+      if (rng.next_bool(opts.literal_density)) {
+        cube.in[i] = rng.next_bool() ? '1' : '0';
+        any_care = true;
+      }
+    }
+    if (!any_care)
+      cube.in[rng.next_below(opts.inputs)] = rng.next_bool() ? '1' : '0';
+    cube.out.resize(opts.outputs, '0');
+    bool any_out = false;
+    for (std::size_t o = 0; o < opts.outputs; ++o) {
+      if (rng.next_bool(opts.output_density)) {
+        cube.out[o] = '1';
+        any_out = true;
+      }
+    }
+    if (!any_out) cube.out[rng.next_below(opts.outputs)] = '1';
+    pla.cubes.push_back(std::move(cube));
+  }
+  return pla;
+}
+
+namespace {
+
+/// True if cube a's input part contains cube b's (a covers b).
+bool input_contains(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != '-' && a[i] != b[i]) return false;
+  return true;
+}
+
+/// True if a's output set is a superset of b's.
+bool output_superset(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (b[i] == '1' && a[i] != '1') return false;
+  return true;
+}
+
+}  // namespace
+
+std::size_t simplify_cover(Pla& pla) {
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Merge distance-1 pairs with identical outputs.
+    for (std::size_t i = 0; i < pla.cubes.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < pla.cubes.size(); ++j) {
+        if (pla.cubes[i].out != pla.cubes[j].out) continue;
+        const std::string& a = pla.cubes[i].in;
+        const std::string& b = pla.cubes[j].in;
+        std::size_t diff = 0, pos = 0;
+        for (std::size_t k = 0; k < a.size(); ++k) {
+          if (a[k] == b[k]) continue;
+          if (a[k] == '-' || b[k] == '-') {
+            diff = 99;  // not mergeable by complementation
+            break;
+          }
+          ++diff;
+          pos = k;
+        }
+        if (diff == 1) {
+          pla.cubes[i].in[pos] = '-';
+          pla.cubes.erase(pla.cubes.begin() + static_cast<long>(j));
+          ++removed;
+          changed = true;
+          break;
+        }
+      }
+    }
+    // Drop contained cubes.
+    for (std::size_t i = 0; i < pla.cubes.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < pla.cubes.size(); ++j) {
+        if (i == j) continue;
+        if (input_contains(pla.cubes[j].in, pla.cubes[i].in) &&
+            output_superset(pla.cubes[j].out, pla.cubes[i].out)) {
+          pla.cubes.erase(pla.cubes.begin() + static_cast<long>(i));
+          ++removed;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+Network pla_to_network(const Pla& pla, double gate_delay) {
+  if (const std::string err = pla.check(); !err.empty()) throw PlaError(err);
+  Network net(pla.name);
+  std::vector<GateId> pis, inv;
+  for (std::size_t i = 0; i < pla.num_inputs; ++i) {
+    const std::string name = i < pla.input_names.size()
+                                 ? pla.input_names[i]
+                                 : "x" + std::to_string(i);
+    pis.push_back(net.add_input(name));
+    inv.push_back(GateId::invalid());
+  }
+  auto literal = [&](std::size_t i, bool positive) {
+    if (positive) return pis[i];
+    if (!inv[i].is_valid())
+      inv[i] = net.add_gate(GateKind::kNot, {pis[i]}, gate_delay);
+    return inv[i];
+  };
+  // Shared product terms, deduplicated by input pattern.
+  std::map<std::string, GateId> terms;
+  std::vector<GateId> cube_gate(pla.cubes.size());
+  for (std::size_t k = 0; k < pla.cubes.size(); ++k) {
+    const std::string& pattern = pla.cubes[k].in;
+    auto it = terms.find(pattern);
+    if (it != terms.end()) {
+      cube_gate[k] = it->second;
+      continue;
+    }
+    std::vector<GateId> lits;
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+      if (pattern[i] != '-') lits.push_back(literal(i, pattern[i] == '1'));
+    GateId g;
+    if (lits.empty())
+      g = net.const_gate(true);
+    else if (lits.size() == 1)
+      g = lits[0];
+    else
+      g = net.add_gate(GateKind::kAnd, lits, gate_delay);
+    terms.emplace(pattern, g);
+    cube_gate[k] = g;
+  }
+  for (std::size_t o = 0; o < pla.num_outputs; ++o) {
+    std::vector<GateId> ors;
+    for (std::size_t k = 0; k < pla.cubes.size(); ++k)
+      if (pla.cubes[k].out[o] == '1') ors.push_back(cube_gate[k]);
+    GateId g;
+    if (ors.empty())
+      g = net.const_gate(false);
+    else if (ors.size() == 1)
+      g = ors[0];
+    else
+      g = net.add_gate(GateKind::kOr, ors, gate_delay);
+    const std::string name = o < pla.output_names.size()
+                                 ? pla.output_names[o]
+                                 : "f" + std::to_string(o);
+    net.add_output(name, g);
+  }
+  return net;
+}
+
+}  // namespace kms

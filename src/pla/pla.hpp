@@ -1,0 +1,70 @@
+// Two-level (PLA) covers in espresso format.
+//
+// The paper's Table I benchmarks (5xp1, clip, rd73, ...) are MCNC PLA
+// specifications synthesized into multi-level logic by MIS-II. The
+// original files are not available offline, so this module provides the
+// same pipeline for substitute workloads: espresso-format I/O, a seeded
+// random cover generator, simple single-output cover cleanup, and
+// two-level to netlist conversion with shared product terms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct PlaError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One product term: `in` over {'0','1','-'}, `out` over {'0','1'}.
+struct PlaCube {
+  std::string in;
+  std::string out;
+};
+
+struct Pla {
+  std::string name = "pla";
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::vector<std::string> input_names;   // optional (.ilb)
+  std::vector<std::string> output_names;  // optional (.ob)
+  std::vector<PlaCube> cubes;
+
+  /// Structural sanity check; returns empty string if OK.
+  std::string check() const;
+};
+
+Pla read_pla(std::istream& in);
+Pla read_pla_string(const std::string& text);
+void write_pla(const Pla& pla, std::ostream& out);
+
+struct RandomPlaOptions {
+  std::size_t inputs = 7;
+  std::size_t outputs = 4;
+  std::size_t cubes = 30;
+  /// Probability that an input position is a care literal (not '-').
+  double literal_density = 0.5;
+  /// Probability that an output position is '1'.
+  double output_density = 0.4;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic random cover (no cleanup applied).
+Pla random_pla(const RandomPlaOptions& opts);
+
+/// Drop cubes whose input part is contained in another cube with a
+/// superset of its outputs, and merge distance-1 cube pairs with equal
+/// outputs. Cheap cleanup, not a minimizer. Returns cubes removed.
+std::size_t simplify_cover(Pla& pla);
+
+/// Two-level AND-OR netlist with product terms shared across outputs.
+/// Every created gate gets `gate_delay`.
+Network pla_to_network(const Pla& pla, double gate_delay = 1.0);
+
+}  // namespace kms

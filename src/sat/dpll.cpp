@@ -1,0 +1,75 @@
+#include "src/sat/dpll.hpp"
+
+namespace kms::sat {
+namespace {
+
+// assignment: 0 = unset, 1 = true, -1 = false.
+bool solve_rec(const std::vector<std::vector<Lit>>& cnf,
+               std::vector<int>& assign) {
+  // Unit propagation by repeated scanning (simple, O(n*m) per level).
+  std::vector<Lit> implied;
+  for (;;) {
+    bool changed = false;
+    for (const auto& clause : cnf) {
+      int unassigned = 0;
+      Lit unit;
+      bool satisfied = false;
+      for (Lit l : clause) {
+        const int a = assign[l.var()];
+        if (a == 0) {
+          ++unassigned;
+          unit = l;
+        } else if ((a == 1) != l.sign()) {
+          // a==1 and positive lit, or a==-1 and negative lit: satisfied.
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) {
+        for (Lit l : implied) assign[l.var()] = 0;
+        return false;  // conflict
+      }
+      if (unassigned == 1) {
+        assign[unit.var()] = unit.sign() ? -1 : 1;
+        implied.push_back(unit);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Find a branching variable.
+  int branch = -1;
+  for (std::size_t v = 0; v < assign.size(); ++v)
+    if (assign[v] == 0) {
+      branch = static_cast<int>(v);
+      break;
+    }
+  if (branch < 0) {
+    for (Lit l : implied) assign[l.var()] = 0;
+    return true;  // fully assigned, no conflict
+  }
+  for (int phase : {1, -1}) {
+    assign[branch] = phase;
+    if (solve_rec(cnf, assign)) {
+      assign[branch] = 0;
+      for (Lit l : implied) assign[l.var()] = 0;
+      return true;
+    }
+  }
+  assign[branch] = 0;
+  for (Lit l : implied) assign[l.var()] = 0;
+  return false;
+}
+
+}  // namespace
+
+bool dpll_satisfiable(int num_vars,
+                      const std::vector<std::vector<Lit>>& cnf) {
+  for (const auto& clause : cnf)
+    if (clause.empty()) return false;
+  std::vector<int> assign(num_vars, 0);
+  return solve_rec(cnf, assign);
+}
+
+}  // namespace kms::sat

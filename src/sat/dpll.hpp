@@ -1,0 +1,18 @@
+// Reference DPLL solver.
+//
+// A deliberately simple, obviously-correct satisfiability decider used
+// only to cross-check the CDCL solver in tests (differential testing on
+// random formulas). Exponential; use on small instances only.
+#pragma once
+
+#include <vector>
+
+#include "src/sat/solver.hpp"
+
+namespace kms::sat {
+
+/// Decide satisfiability of the clause set over `num_vars` variables.
+/// Clauses use the same Lit encoding as Solver.
+bool dpll_satisfiable(int num_vars, const std::vector<std::vector<Lit>>& cnf);
+
+}  // namespace kms::sat

@@ -1,0 +1,195 @@
+// CDCL SAT solver.
+//
+// Conflict-driven clause learning with two-watched-literal propagation,
+// first-UIP learning with recursive clause minimization, VSIDS branching
+// with phase saving, Luby restarts, and activity-driven learned-clause
+// reduction. Supports incremental solving under assumptions, which is how
+// the rest of the library asks its questions: "is this fault testable?",
+// "is this path statically sensitizable?", "are these circuits
+// equivalent?" are all SAT calls.
+//
+// The implementation follows the MiniSat architecture, written from
+// scratch for this project.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kms::sat {
+
+using Var = std::int32_t;
+
+/// A literal: variable with sign. Encoded as 2*var + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() : x_(-2) {}
+  Lit(Var v, bool negated) : x_(2 * v + (negated ? 1 : 0)) {}
+
+  Var var() const { return x_ >> 1; }
+  bool sign() const { return x_ & 1; }  // true = negated
+  Lit operator~() const { return from_index(x_ ^ 1); }
+  std::int32_t index() const { return x_; }
+
+  static Lit from_index(std::int32_t idx) {
+    Lit l;
+    l.x_ = idx;
+    return l;
+  }
+
+  friend bool operator==(Lit a, Lit b) { return a.x_ == b.x_; }
+  friend bool operator!=(Lit a, Lit b) { return a.x_ != b.x_; }
+  friend bool operator<(Lit a, Lit b) { return a.x_ < b.x_; }
+
+ private:
+  std::int32_t x_;
+};
+
+/// Positive literal of v.
+inline Lit mk_lit(Var v, bool negated = false) { return Lit(v, negated); }
+
+enum class Value : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+inline Value operator^(Value v, bool flip) {
+  if (v == Value::kUnknown) return v;
+  return static_cast<Value>(static_cast<std::uint8_t>(v) ^ (flip ? 1 : 0));
+}
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t removed_learned = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Allocate a fresh variable; returns its index.
+  Var new_var();
+  std::size_t num_vars() const { return assigns_.size(); }
+
+  /// Add a clause (ORed literals). Returns false if the formula became
+  /// trivially unsatisfiable (empty clause / conflicting units at the
+  /// root level).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) {
+    return add_clause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solve under the given assumptions. kUnknown only if a conflict
+  /// budget was set and exhausted.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access (valid after solve() returned kSat).
+  Value model_value(Var v) const { return model_[v]; }
+  bool model_bool(Var v) const { return model_[v] == Value::kTrue; }
+
+  /// Limit the number of conflicts for the next solve() calls
+  /// (-1 = unlimited).
+  void set_conflict_budget(std::int64_t budget) { conflict_budget_ = budget; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// True if the clause database is already unsatisfiable at level 0.
+  bool inconsistent() const { return !ok_; }
+
+ private:
+  using CRef = std::uint32_t;
+  static constexpr CRef kNullCRef = 0xFFFFFFFF;
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // Clause arena: [header | lit0 | lit1 | ...]. Header packs size (30 bits),
+  // learnt flag; learned clauses carry an activity float in an extra slot.
+  struct ClauseHeader {
+    std::uint32_t size : 30;
+    std::uint32_t learnt : 1;
+    std::uint32_t reloced : 1;
+  };
+
+  Lit* clause_lits(CRef c) {
+    return reinterpret_cast<Lit*>(&arena_[c + 1 + header(c).learnt]);
+  }
+  const Lit* clause_lits(CRef c) const {
+    return reinterpret_cast<const Lit*>(&arena_[c + 1 + header(c).learnt]);
+  }
+  ClauseHeader& header(CRef c) {
+    return *reinterpret_cast<ClauseHeader*>(&arena_[c]);
+  }
+  const ClauseHeader& header(CRef c) const {
+    return *reinterpret_cast<const ClauseHeader*>(&arena_[c]);
+  }
+  float& clause_act(CRef c) {
+    return *reinterpret_cast<float*>(&arena_[c + 1]);
+  }
+
+  CRef alloc_clause(const std::vector<Lit>& lits, bool learnt);
+  void attach_clause(CRef c);
+  void detach_clause(CRef c);
+  void remove_clause(CRef c);
+
+  Value value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
+  Value value(Var v) const { return assigns_[v]; }
+
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void analyze(CRef conflict, std::vector<Lit>& learnt, int& out_level);
+  bool lit_redundant(Lit l, std::uint32_t ab_levels,
+                     std::vector<Var>& to_clear);
+  void cancel_until(int level);
+  Lit pick_branch();
+  Result search();
+  void reduce_db();
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= 0.95; }
+  void bump_clause(CRef c);
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  // Heap keyed by activity.
+  void heap_insert(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  bool ok_ = true;
+  std::vector<std::uint32_t> arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  std::vector<Value> assigns_;
+  std::vector<bool> polarity_;  // saved phases
+  std::vector<int> level_;
+  std::vector<CRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  std::vector<std::int32_t> heap_pos_;  // -1 if absent
+  std::vector<Var> heap_;
+
+  std::vector<Lit> assumptions_;
+  std::vector<Value> model_;
+
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+
+  std::int64_t conflict_budget_ = -1;
+  double max_learnts_ = 0;
+  SolverStats stats_;
+};
+
+}  // namespace kms::sat

@@ -1,0 +1,62 @@
+// Bit-parallel logic simulation.
+//
+// 64 input vectors are evaluated per pass, one vector per bit of a
+// 64-bit word. Used for equivalence spot-checks, for computing output
+// responses to ATPG-generated tests, and as the engine behind the
+// parallel-pattern stuck-at fault simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/base/rng.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+/// One 64-vector simulation pass over a fixed network.
+class Simulator {
+ public:
+  explicit Simulator(const Network& net);
+
+  /// Evaluate the network. `pi_words[i]` carries 64 values for input i
+  /// (order = net.inputs()). Must match the input count.
+  void run(const std::vector<std::uint64_t>& pi_words);
+
+  /// Word of output o (order = net.outputs()) after run().
+  std::uint64_t output_word(std::size_t o) const;
+
+  /// Word at an arbitrary gate after run().
+  std::uint64_t gate_word(GateId g) const { return value_[g.value()]; }
+
+  const Network& network() const { return net_; }
+
+ private:
+  const Network& net_;
+  std::vector<GateId> order_;
+  std::vector<std::uint64_t> value_;
+};
+
+/// Result of an equivalence check.
+struct EquivResult {
+  bool equivalent = true;
+  /// On inequivalence: the distinguishing input assignment (by PI order)
+  /// and the index of the first differing output.
+  std::vector<bool> counterexample;
+  std::size_t output_index = 0;
+};
+
+/// Exhaustive equivalence check; both networks must have the same number
+/// of inputs and outputs (matched by position) and at most 24 inputs.
+EquivResult exhaustive_equiv(const Network& a, const Network& b);
+
+/// Random-simulation equivalence check (sound for "different", not for
+/// "same"): `rounds` passes of 64 random vectors each.
+EquivResult random_equiv(const Network& a, const Network& b, Rng& rng,
+                         std::size_t rounds = 64);
+
+/// Single-vector convenience evaluation (slow path, used in tests).
+std::vector<bool> eval_once(const Network& net, const std::vector<bool>& pis);
+
+}  // namespace kms

@@ -1,0 +1,81 @@
+// Fanout-load-dependent delay model and drive-strength resizing.
+//
+// Section VI.2 of the paper addresses the one delay effect the plain
+// model misses: duplication can as much as double the fanout of gates
+// feeding the duplicated subnetwork, and "in typical static delay
+// models the delay through a gate is a function of the fan in of the
+// gate, the individual delay of the gate, and the fan out of the gate."
+// The paper's answer is technological: pick a higher-powered cell ("an
+// inspection of a typical standard cell library, such as the AT&T
+// 1.25u CMOS Library, shows that 'high' and 'super' powered versions
+// of such gates are available") so the bigger load is driven at the
+// same speed.
+//
+// This module makes that argument executable: a linear load model
+//   d(g) = base(kind) + slope(drive) * fanout(g)
+// an annotation pass, and a resizing pass that upgrades the drive of
+// any gate whose delay regressed past its pre-transform value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+/// Drive strengths mirroring the standard-cell discussion: each step
+/// roughly halves the load sensitivity.
+enum class Drive : std::uint8_t { kNormal = 0, kHigh = 1, kSuper = 2 };
+
+struct LoadDelayModel {
+  /// Intrinsic (unloaded) delay per gate kind; simple defaults follow
+  /// the unit model with inverters slightly cheaper.
+  double base_and_or = 1.0;
+  double base_not = 0.5;
+  double base_buf = 0.0;
+  /// Load sensitivity per drive strength (delay added per fanout).
+  double slope[3] = {0.25, 0.125, 0.0625};
+
+  double base(GateKind kind) const;
+  double gate_delay(GateKind kind, Drive drive, std::size_t fanout) const;
+};
+
+/// Per-gate drive annotations, indexed by GateId::value(). Gates added
+/// after construction default to kNormal.
+class DriveMap {
+ public:
+  Drive get(GateId g) const {
+    return g.value() < drives_.size() ? drives_[g.value()] : Drive::kNormal;
+  }
+  void set(GateId g, Drive d) {
+    if (g.value() >= drives_.size())
+      drives_.resize(g.value() + 1, Drive::kNormal);
+    drives_[g.value()] = d;
+  }
+
+ private:
+  std::vector<Drive> drives_;
+};
+
+/// Recompute every live logic gate's delay from the model, its drive
+/// and its current live fanout.
+void apply_load_delays(Network& net, const LoadDelayModel& model,
+                       const DriveMap& drives);
+
+/// Upgrade drives until every gate's delay is back to (at most) the
+/// delay it would have at `reference_fanout[g]` with its original
+/// drive — the Section VI.2 cell-selection step after KMS duplication.
+/// Gates already at kSuper stay there (the paper notes the library
+/// covers fanouts "even for values of k up to 30"). Returns the number
+/// of gates upgraded.
+std::size_t resize_for_fanout(Network& net, const LoadDelayModel& model,
+                              DriveMap& drives,
+                              const std::vector<std::size_t>& reference_fanout);
+
+/// Snapshot of the live fanout of every gate (indexed by id), used as
+/// the resizing reference.
+std::vector<std::size_t> fanout_profile(const Network& net);
+
+}  // namespace kms

@@ -1,0 +1,142 @@
+#include "src/timing/pdf.hpp"
+
+#include <stdexcept>
+
+#include "src/cnf/encoder.hpp"
+
+namespace kms {
+
+using sat::Lit;
+using sat::Solver;
+
+std::optional<PdfTest> robust_pdf_test(const Network& net, const Path& path,
+                                       bool rising) {
+  Solver solver;
+  CircuitEncoding before(net, solver);  // values under v1
+  CircuitEncoding after(net, solver);   // values under v2
+
+  auto lit1 = [&](GateId g, bool neg = false) { return before.lit_of(g, neg); };
+  auto lit2 = [&](GateId g, bool neg = false) { return after.lit_of(g, neg); };
+
+  // Launch: source settles at !final under v1 and final under v2.
+  const bool final_value = rising;
+  solver.add_clause(lit1(path.source, /*neg=*/final_value));
+  solver.add_clause(lit2(path.source, /*neg=*/!final_value));
+
+  // Walk the path tracking the final value of the on-path signal.
+  bool on_path_final = final_value;
+  for (std::size_t i = 0; i < path.gates.size(); ++i) {
+    const GateId g = path.gates[i];
+    const Gate& gt = net.gate(g);
+    const ConnId on_path = path.conns[i];
+    switch (gt.kind) {
+      case GateKind::kOutput:
+      case GateKind::kBuf:
+        break;
+      case GateKind::kNot:
+        on_path_final = !on_path_final;
+        break;
+      case GateKind::kXor:
+      case GateKind::kXnor: {
+        // Robust propagation through parity gates needs steady sides.
+        bool parity_flip = gt.kind == GateKind::kXnor;
+        for (ConnId c : gt.fanins) {
+          if (c == on_path) continue;
+          const GateId s = net.conn(c).from;
+          // v1(s) == v2(s)
+          solver.add_clause(lit1(s, true), lit2(s));
+          solver.add_clause(lit1(s), lit2(s, true));
+        }
+        // The output's final value depends on the steady sides; we do
+        // not need to track it for side constraints of later gates
+        // (they only depend on the transition's final value), so fold
+        // an unknown: the transition direction at the output is the
+        // input's direction xor (parity of sides), which is cube-
+        // dependent. Conservatively continue tracking through the
+        // inversion only — later controlling-value gates then receive
+        // a possibly wrong steady/final classification. To stay exact
+        // we instead REQUIRE the side parity to be even (sides XOR to
+        // 0 across the gate), pinning the output transition to the
+        // input transition.
+        {
+          // XOR of all side literals (under v2) must equal 0 (even
+          // parity); with steady sides v1 parity equals v2 parity.
+          std::vector<Lit> sides;
+          for (ConnId c : gt.fanins)
+            if (c != on_path) sides.push_back(lit2(net.conn(c).from));
+          // Chain-encode parity == 0.
+          Lit acc;
+          bool have = false;
+          for (Lit l : sides) {
+            if (!have) {
+              acc = l;
+              have = true;
+              continue;
+            }
+            const Lit t = sat::mk_lit(solver.new_var());
+            solver.add_clause(~t, acc, l);
+            solver.add_clause(~t, ~acc, ~l);
+            solver.add_clause(t, ~acc, l);
+            solver.add_clause(t, acc, ~l);
+            acc = t;
+          }
+          if (have) solver.add_clause(~acc);
+        }
+        if (parity_flip) on_path_final = !on_path_final;
+        break;
+      }
+      case GateKind::kAnd:
+      case GateKind::kNand:
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        const bool nc = noncontrolling_value(gt.kind);
+        const bool to_noncontrolling = on_path_final == nc;
+        for (ConnId c : gt.fanins) {
+          if (c == on_path) continue;
+          const GateId s = net.conn(c).from;
+          // Final value noncontrolling always.
+          solver.add_clause(lit2(s, /*neg=*/!nc));
+          // Steady when the on-path transition ends noncontrolling.
+          if (to_noncontrolling) solver.add_clause(lit1(s, /*neg=*/!nc));
+        }
+        on_path_final = is_inverting(gt.kind) ? !on_path_final : on_path_final;
+        break;
+      }
+      case GateKind::kMux:
+        throw std::invalid_argument(
+            "robust_pdf_test: MUX on path; decompose_to_simple first");
+      default:
+        throw std::invalid_argument("robust_pdf_test: bad gate on path");
+    }
+  }
+
+  if (solver.solve() != sat::Result::kSat) return std::nullopt;
+  PdfTest test;
+  test.v1 = before.model_inputs();
+  test.v2 = after.model_inputs();
+  return test;
+}
+
+bool robust_pdf_testable(const Network& net, const Path& path) {
+  return robust_pdf_test(net, path, true).has_value() ||
+         robust_pdf_test(net, path, false).has_value();
+}
+
+PdfAudit pdf_audit(const Network& net, std::size_t max_paths) {
+  PdfAudit audit;
+  PathEnumerator en(net);
+  while (audit.paths_examined < max_paths) {
+    auto p = en.next();
+    if (!p) break;
+    ++audit.paths_examined;
+    if (robust_pdf_testable(net, *p)) {
+      ++audit.robust_testable;
+      if (audit.longest_testable == 0.0) audit.longest_testable = p->length;
+    } else {
+      ++audit.untestable;
+    }
+  }
+  return audit;
+}
+
+}  // namespace kms

@@ -1,0 +1,58 @@
+// Robust path-delay-fault (PDF) testability analysis.
+//
+// The paper closes with: "It would be interesting to discover if the
+// techniques described in this paper could be generalized to the
+// removal of path-delay-fault redundancies without degrading circuit
+// performance." This module supplies the measurement side of that
+// question: a SAT-based decision procedure for the existence of a
+// robust two-vector test for a given path, following the classic
+// single-path robust conditions for simple gates:
+//
+//   * the source launches a transition (v1 and v2 differ at it);
+//   * at each on-path gate whose arriving transition ends at the
+//     NONcontrolling value, every side-input must be STEADY at the
+//     noncontrolling value under both vectors;
+//   * at each on-path gate whose arriving transition ends at the
+//     controlling value, every side-input needs the noncontrolling
+//     value under v2 only;
+//   * XOR/XNOR side-inputs must be steady (either value); MUX gates
+//     must be decomposed first.
+//
+// A path with no robust test for either transition direction is a
+// path-delay-fault redundancy — the Section III "speedtest" problem in
+// delay-fault language.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/netlist/network.hpp"
+#include "src/timing/path.hpp"
+
+namespace kms {
+
+/// A two-vector delay test (primary-input assignments in inputs() order).
+struct PdfTest {
+  std::vector<bool> v1;
+  std::vector<bool> v2;
+};
+
+/// A robust test launching a rising (0->1) or falling transition at the
+/// path's source, or nullopt if none exists.
+std::optional<PdfTest> robust_pdf_test(const Network& net, const Path& path,
+                                       bool rising);
+
+/// True if the path has a robust test for at least one direction.
+bool robust_pdf_testable(const Network& net, const Path& path);
+
+struct PdfAudit {
+  std::size_t paths_examined = 0;
+  std::size_t robust_testable = 0;
+  std::size_t untestable = 0;
+  double longest_testable = 0.0;  ///< length of the longest testable path
+};
+
+/// Walk the `max_paths` longest paths and classify each.
+PdfAudit pdf_audit(const Network& net, std::size_t max_paths = 200);
+
+}  // namespace kms

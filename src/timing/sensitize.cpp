@@ -1,0 +1,232 @@
+#include "src/timing/sensitize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/timing/sta.hpp"
+
+namespace kms {
+
+Sensitizer::Sensitizer(const Network& net, SensitizationMode mode)
+    : net_(net), mode_(mode), enc_(net, solver_), arrival_(compute_arrival(net)) {}
+
+void Sensitizer::side_constraints(GateId g, ConnId entering, double event_time,
+                                  std::vector<sat::Lit>* out) const {
+  const Gate& gt = net_.gate(g);
+  switch (gt.kind) {
+    case GateKind::kOutput:
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return;  // no side inputs
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return;  // an event always propagates through parity gates
+    case GateKind::kAnd:
+    case GateKind::kNand:
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      const bool nc = noncontrolling_value(gt.kind);
+      for (ConnId c : gt.fanins) {
+        if (c == entering) continue;
+        const Conn& cn = net_.conn(c);
+        if (mode_ == SensitizationMode::kViability) {
+          // Smooth late side-inputs: constrain only those that have
+          // settled strictly before the event arrives (Section V.1).
+          const double settle = arrival_[cn.from.value()] + cn.delay;
+          if (!(settle < event_time - 1e-9)) continue;
+        }
+        out->push_back(enc_.lit_of(cn.from, /*negated=*/!nc));
+      }
+      return;
+    }
+    case GateKind::kMux:
+      throw std::invalid_argument(
+          "Sensitizer: MUX along path; decompose_to_simple first");
+    default:
+      throw std::invalid_argument("Sensitizer: unexpected gate on path");
+  }
+}
+
+bool Sensitizer::satisfiable(const std::vector<sat::Lit>& assumptions) {
+  ++queries_;
+  return solver_.solve(assumptions) == sat::Result::kSat;
+}
+
+std::optional<std::vector<bool>> Sensitizer::check(const Path& path) {
+  std::vector<sat::Lit> assumptions;
+  // Event time along the path: starts at the source's arrival.
+  double event_time = net_.gate(path.source).arrival;
+  for (std::size_t i = 0; i < path.gates.size(); ++i) {
+    const ConnId on_path = path.conns[i];
+    const GateId g = path.gates[i];
+    event_time += net_.conn(on_path).delay;  // event at the gate's input
+    side_constraints(g, on_path, event_time, &assumptions);
+    event_time += net_.gate(g).delay;  // event leaves the gate's output
+  }
+  if (!satisfiable(assumptions)) return std::nullopt;
+  return enc_.model_inputs();
+}
+
+namespace {
+
+/// Longest completion (conn delay + gate delay sums) from each gate's
+/// output to any primary output; -inf where no output is reachable.
+std::vector<double> suffix_bounds(const Network& net) {
+  std::vector<double> suffix(net.gate_capacity(), minus_infinity());
+  const auto order = net.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId g = *it;
+    const Gate& gt = net.gate(g);
+    if (gt.kind == GateKind::kOutput) {
+      suffix[g.value()] = 0.0;
+      continue;
+    }
+    double best = minus_infinity();
+    for (ConnId c : gt.fanouts) {
+      const Conn& cn = net.conn(c);
+      if (cn.dead) continue;
+      best = std::max(best,
+                      cn.delay + net.gate(cn.to).delay + suffix[cn.to.value()]);
+    }
+    suffix[g.value()] = best;
+  }
+  return suffix;
+}
+
+}  // namespace
+
+DelayReport computed_delay(const Network& net, SensitizationMode mode,
+                           std::size_t max_queries) {
+  DelayReport report;
+  Sensitizer sens(net, mode);
+  const auto suffix = suffix_bounds(net);
+  constexpr double kEps = 1e-9;
+
+  // Fanout connections of every gate, sorted by completion bound
+  // contribution (descending) so the most promising extension is tried
+  // first and bound-pruning cuts whole tails.
+  std::vector<std::vector<ConnId>> sorted_fanouts(net.gate_capacity());
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const Gate& gt = net.gate(GateId{i});
+    if (gt.dead) continue;
+    auto& outs = sorted_fanouts[i];
+    for (ConnId c : gt.fanouts)
+      if (!net.conn(c).dead) outs.push_back(c);
+    std::sort(outs.begin(), outs.end(), [&](ConnId a, ConnId b) {
+      const Conn& ca = net.conn(a);
+      const Conn& cb = net.conn(b);
+      const double ba =
+          ca.delay + net.gate(ca.to).delay + suffix[ca.to.value()];
+      const double bb =
+          cb.delay + net.gate(cb.to).delay + suffix[cb.to.value()];
+      return ba > bb;
+    });
+  }
+
+  double best = minus_infinity();
+  Path best_path;
+  std::vector<bool> best_cube;
+  bool budget_exhausted = false;
+
+  struct Frame {
+    GateId gate;
+    double head;               // event time at this gate's output
+    std::size_t assume_mark;   // assumptions size on entry
+    std::size_t next_child;    // index into sorted_fanouts
+    ConnId via;                // connection taken to reach this gate
+  };
+  std::vector<Frame> spine;
+  std::vector<sat::Lit> assumptions;
+
+  // Sources, most promising first.
+  std::vector<GateId> sources = net.inputs();
+  std::sort(sources.begin(), sources.end(), [&](GateId a, GateId b) {
+    return net.gate(a).arrival + suffix[a.value()] >
+           net.gate(b).arrival + suffix[b.value()];
+  });
+
+  for (GateId pi : sources) {
+    if (budget_exhausted) break;
+    if (suffix[pi.value()] == minus_infinity()) continue;
+    if (net.gate(pi).arrival + suffix[pi.value()] <= best + kEps) break;
+    spine.clear();
+    assumptions.clear();
+    spine.push_back(Frame{pi, net.gate(pi).arrival, 0, 0, ConnId::invalid()});
+    while (!spine.empty()) {
+      Frame& f = spine.back();
+      const Gate& gt = net.gate(f.gate);
+      if (gt.kind == GateKind::kOutput) {
+        // Complete sensitizable path (the last solve, done on entry,
+        // was satisfiable). Record and backtrack.
+        if (f.head > best + kEps) {
+          best = f.head;
+          best_path = Path{};
+          best_path.source = spine.front().gate;
+          for (std::size_t i = 1; i < spine.size(); ++i) {
+            best_path.conns.push_back(spine[i].via);
+            best_path.gates.push_back(spine[i].gate);
+          }
+          best_path.length = best;
+          best_cube = sens.model_inputs();
+        }
+        assumptions.resize(f.assume_mark);
+        spine.pop_back();
+        continue;
+      }
+      const auto& children = sorted_fanouts[f.gate.value()];
+      if (f.next_child >= children.size()) {
+        assumptions.resize(f.assume_mark);
+        spine.pop_back();
+        continue;
+      }
+      const ConnId c = children[f.next_child++];
+      const Conn& cn = net.conn(c);
+      const GateId child = cn.to;
+      const double event_at_input = f.head + cn.delay;
+      const double bound =
+          event_at_input + net.gate(child).delay + suffix[child.value()];
+      if (bound <= best + kEps || bound == minus_infinity()) {
+        // Children are sorted by bound: nothing further can win.
+        f.next_child = children.size();
+        continue;
+      }
+      const std::size_t mark = assumptions.size();
+      sens.side_constraints(child, c, event_at_input, &assumptions);
+      bool ok = true;
+      // Only pay for a SAT call when this step constrained something
+      // new, or when completing a path (need a model for the witness).
+      if (assumptions.size() > mark ||
+          net.gate(child).kind == GateKind::kOutput) {
+        if (sens.queries() >= max_queries) {
+          budget_exhausted = true;
+          break;
+        }
+        ok = sens.satisfiable(assumptions);
+      }
+      if (!ok) {
+        assumptions.resize(mark);
+        continue;
+      }
+      spine.push_back(Frame{child, event_at_input + net.gate(child).delay,
+                            mark, 0, c});
+    }
+  }
+
+  report.paths_examined = sens.queries();
+  if (budget_exhausted) {
+    report.exact = false;
+    report.delay = topological_delay(net);  // safe upper bound
+    return report;
+  }
+  if (best == minus_infinity()) {
+    report.delay = 0.0;  // only constant outputs remain
+    return report;
+  }
+  report.delay = best;
+  report.witness = std::move(best_path);
+  report.cube = std::move(best_cube);
+  return report;
+}
+
+}  // namespace kms

@@ -1,0 +1,86 @@
+// Path sensitization tests (Definitions 4.11 and 5.1).
+//
+// Both conditions are decided with one incremental SAT query per path on
+// a single Tseitin encoding of the network:
+//
+//  * Static sensitization: assume every side-input of every gate along
+//    the path takes its noncontrolling value; SAT iff some input cube
+//    realizes those values.
+//  * Viability (floating-mode relaxation): only *early* side-inputs —
+//    those whose static arrival time is strictly earlier than the event
+//    time along the path — are constrained; late side-inputs are
+//    smoothed out exactly as in Section V.1. This is a superset of
+//    static sensitization (the containment the paper's correctness
+//    arguments use) and an upper-bound delay estimate like true
+//    viability.
+//
+// XOR/XNOR gates along a path never block an event, so they contribute
+// no constraints; MUX gates must be decomposed first (Section VI).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/cnf/encoder.hpp"
+#include "src/netlist/network.hpp"
+#include "src/timing/path.hpp"
+
+namespace kms {
+
+enum class SensitizationMode { kStatic, kViability };
+
+class Sensitizer {
+ public:
+  Sensitizer(const Network& net, SensitizationMode mode);
+
+  /// If the path satisfies the condition, returns a witnessing primary
+  /// input assignment (in net.inputs() order); otherwise nullopt.
+  std::optional<std::vector<bool>> check(const Path& path);
+
+  /// Append the side-input constraints imposed by entering gate `g`
+  /// through connection `entering` when the event reaches the gate's
+  /// input at `event_time`. Building block for both check() and the
+  /// branch-and-bound longest-sensitizable-path search.
+  void side_constraints(GateId g, ConnId entering, double event_time,
+                        std::vector<sat::Lit>* out) const;
+
+  /// Solve under an explicit assumption set (exposed for the search).
+  bool satisfiable(const std::vector<sat::Lit>& assumptions);
+  std::vector<bool> model_inputs() const { return enc_.model_inputs(); }
+
+  /// Number of SAT queries issued so far.
+  std::size_t queries() const { return queries_; }
+
+  SensitizationMode mode() const { return mode_; }
+
+ private:
+  const Network& net_;
+  SensitizationMode mode_;
+  sat::Solver solver_;
+  CircuitEncoding enc_;
+  std::vector<double> arrival_;
+  std::size_t queries_ = 0;
+};
+
+/// Result of a computed-delay query (Section V: the "computed delay" is
+/// an upper bound on the true delay; here it is the length of the
+/// longest path passing the chosen sensitization condition).
+struct DelayReport {
+  double delay = 0.0;
+  bool exact = true;  ///< false if the path-enumeration cap was hit
+  std::optional<Path> witness;
+  std::optional<std::vector<bool>> cube;
+  std::size_t paths_examined = 0;
+};
+
+/// Compute the delay by branch-and-bound search for the longest
+/// sensitizable/viable path (the [15] "longest viable path" approach):
+/// depth-first extension of path prefixes ordered by an exact
+/// completion bound, pruning a whole subtree as soon as the prefix's
+/// accumulated side constraints become unsatisfiable. `max_queries`
+/// bounds the SAT work; on exhaustion the report carries exact=false
+/// and the best bound seen.
+DelayReport computed_delay(const Network& net, SensitizationMode mode,
+                           std::size_t max_queries = 200000);
+
+}  // namespace kms

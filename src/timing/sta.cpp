@@ -1,0 +1,74 @@
+#include "src/timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace kms {
+
+double minus_infinity() { return -std::numeric_limits<double>::infinity(); }
+
+std::vector<double> compute_arrival(const Network& net) {
+  std::vector<double> arrival(net.gate_capacity(), minus_infinity());
+  for (GateId g : net.topo_order()) {
+    const Gate& gt = net.gate(g);
+    switch (gt.kind) {
+      case GateKind::kInput:
+        arrival[g.value()] = gt.arrival;
+        break;
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        arrival[g.value()] = minus_infinity();
+        break;
+      default: {
+        double in = minus_infinity();
+        for (ConnId c : gt.fanins) {
+          const Conn& cn = net.conn(c);
+          in = std::max(in, arrival[cn.from.value()] + cn.delay);
+        }
+        // A gate fed only by constants settles "immediately": keep -inf
+        // rather than -inf + delay (which is still -inf, so this is
+        // automatic with IEEE arithmetic).
+        arrival[g.value()] = in + gt.delay;
+        break;
+      }
+    }
+  }
+  return arrival;
+}
+
+TimingTables compute_timing(const Network& net) {
+  TimingTables t;
+  t.arrival = compute_arrival(net);
+  t.delay = minus_infinity();
+  for (GateId o : net.outputs())
+    t.delay = std::max(t.delay, t.arrival[o.value()]);
+  if (t.delay == minus_infinity()) t.delay = 0.0;
+
+  t.required.assign(net.gate_capacity(),
+                    std::numeric_limits<double>::infinity());
+  const auto order = net.topo_order();
+  for (GateId o : net.outputs()) t.required[o.value()] = t.delay;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId g = *it;
+    const Gate& gt = net.gate(g);
+    const double at_input = t.required[g.value()] - gt.delay;
+    for (ConnId c : gt.fanins) {
+      const Conn& cn = net.conn(c);
+      t.required[cn.from.value()] =
+          std::min(t.required[cn.from.value()], at_input - cn.delay);
+    }
+  }
+  t.slack.resize(net.gate_capacity());
+  for (std::size_t i = 0; i < t.slack.size(); ++i)
+    t.slack[i] = t.required[i] - t.arrival[i];
+  return t;
+}
+
+double topological_delay(const Network& net) {
+  const auto arrival = compute_arrival(net);
+  double d = minus_infinity();
+  for (GateId o : net.outputs()) d = std::max(d, arrival[o.value()]);
+  return d == minus_infinity() ? 0.0 : d;
+}
+
+}  // namespace kms

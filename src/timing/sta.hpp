@@ -1,0 +1,39 @@
+// Static timing analysis over the paper's delay model (Section IV/V).
+//
+// Arrival time of a gate = latest time its output settles, assuming every
+// path propagates: arrival(pi) = input arrival; arrival(g) = max over
+// fanin connections c of (arrival(source(c)) + d(c)) + d(g). The network
+// delay bound is the max arrival over primary outputs — the "longest
+// path" the paper contrasts with the critical (sensitizable) path.
+#pragma once
+
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+/// Arrival/required/slack tables indexed by GateId::value().
+struct TimingTables {
+  std::vector<double> arrival;
+  std::vector<double> required;
+  std::vector<double> slack;
+  double delay = 0.0;  ///< max arrival over primary outputs
+};
+
+/// Arrival time at every gate output. Constants carry -infinity (they
+/// never constrain a path).
+std::vector<double> compute_arrival(const Network& net);
+
+/// Full arrival/required/slack computation against the network's own
+/// delay (required(po) = delay for every output).
+TimingTables compute_timing(const Network& net);
+
+/// Topological ("longest path") delay bound of the network.
+double topological_delay(const Network& net);
+
+/// The constant used for "effectively minus infinity" arrival times.
+double minus_infinity();
+
+}  // namespace kms

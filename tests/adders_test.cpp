@@ -1,0 +1,94 @@
+#include "src/gen/adders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+TEST(AddersTest, RippleInterface) {
+  Network net = ripple_carry_adder(4);
+  EXPECT_EQ(net.inputs().size(), 9u);   // a0..3, b0..3, cin
+  EXPECT_EQ(net.outputs().size(), 5u);  // s0..3, cout
+  EXPECT_EQ(net.check(), "");
+}
+
+TEST(AddersTest, CarrySkipBlocksSumToBits) {
+  Network net = carry_skip_adder_blocks({3, 2, 3});
+  EXPECT_EQ(net.inputs().size(), 17u);
+  EXPECT_EQ(net.outputs().size(), 9u);
+  EXPECT_EQ(net.check(), "");
+}
+
+TEST(AddersTest, CarrySkipNaming) {
+  Network net = carry_skip_adder(8, 4);
+  EXPECT_EQ(net.name(), "csa8.4");
+}
+
+TEST(AddersTest, UnevenTrailingBlock) {
+  Network net = carry_skip_adder(7, 3);  // blocks 3,3,1
+  Network rca = ripple_carry_adder(7);
+  EXPECT_TRUE(exhaustive_equiv(net, rca).equivalent);
+}
+
+class AdderWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderWidths, CarrySkipAddsForAllBlockSizes) {
+  const std::size_t bits = GetParam();
+  Network rca = ripple_carry_adder(bits);
+  for (std::size_t block = 1; block <= bits; ++block) {
+    Network csa = carry_skip_adder(bits, block);
+    EXPECT_TRUE(exhaustive_equiv(csa, rca).equivalent)
+        << bits << "." << block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths, ::testing::Values(2, 3, 4, 5));
+
+TEST(AddersTest, SectionThreeDelays) {
+  // Fig. 1 with c0 @ 5, AND/OR = 1, XOR/MUX = 2: carry cone critical
+  // path 8, longest path 11 (checked in detail in paper_example_test;
+  // here just the topological numbers).
+  AdderOptions opts;
+  opts.cin_arrival = 5.0;
+  Network net = carry_skip_adder(2, 2, opts);
+  Network cone = extract_output(net, net.outputs().size() - 1);
+  EXPECT_DOUBLE_EQ(topological_delay(cone), 11.0);
+  decompose_to_simple(cone);
+  EXPECT_DOUBLE_EQ(topological_delay(cone), 11.0);
+}
+
+TEST(AddersTest, SkipChainShortensSensitizablePathsNotTopology) {
+  // With unit delays the csa's topological delay matches the ripple
+  // adder's (the ripple chain is still there) — the *skip* only helps
+  // the true delay. This is exactly why naive STA needs the paper.
+  Network rca = ripple_carry_adder(8);
+  Network csa = carry_skip_adder(8, 4);
+  decompose_to_simple(rca);
+  decompose_to_simple(csa);
+  apply_unit_delays(rca);
+  apply_unit_delays(csa);
+  EXPECT_GE(topological_delay(csa) + 1e-9, topological_delay(rca));
+}
+
+TEST(AddersTest, ApplyUnitDelaysZeroesConnections) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  apply_unit_delays(net);
+  for (std::uint32_t i = 0; i < net.conn_capacity(); ++i)
+    if (!net.conn(ConnId{i}).dead)
+      EXPECT_DOUBLE_EQ(net.conn(ConnId{i}).delay, 0.0);
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const Gate& g = net.gate(GateId{i});
+    if (g.dead || !is_logic(g.kind) || is_constant(g.kind) ||
+        g.kind == GateKind::kBuf)
+      continue;
+    EXPECT_DOUBLE_EQ(g.delay, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,137 @@
+#include "src/atpg/atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/atpg/inject.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+/// A generated test vector must actually expose the fault: simulating
+/// the good and faulty machines on it must differ at some output.
+void expect_test_detects(const Network& net, const Fault& f,
+                         const std::vector<bool>& test) {
+  Network faulty = inject_fault(net, f);
+  EXPECT_NE(eval_once(net, test), eval_once(faulty, test))
+      << format_fault(net, f);
+}
+
+TEST(AtpgTest, RippleAdderFullyTestable) {
+  // "while a ripple-carry adder is fully testable ..." (Section III).
+  Network net = ripple_carry_adder(3);
+  decompose_to_simple(net);
+  Atpg atpg(net);
+  for (const Fault& f : collapsed_faults(net)) {
+    const auto test = atpg.generate_test(f);
+    ASSERT_TRUE(test.has_value()) << format_fault(net, f);
+    expect_test_detects(net, f, *test);
+  }
+}
+
+TEST(AtpgTest, CarrySkipAdderHasRedundancy) {
+  // "... the carry-skip adder has a single redundancy in the circuit."
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  EXPECT_GE(count_redundancies(net), 1u);
+}
+
+TEST(AtpgTest, UnreachableGateFaultUntestable) {
+  Network net("u");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+  net.add_output("f", g);
+  // A gate with no path to an output.
+  const GateId dangling = net.add_gate(GateKind::kNot, {a}, 1.0);
+  (void)dangling;
+  Atpg atpg(net);
+  // enumerate_faults skips gates without fanout, so craft one manually.
+  const Fault f{Fault::Site::kStem, dangling, ConnId::invalid(), false};
+  EXPECT_FALSE(atpg.is_testable(f));
+}
+
+TEST(AtpgTest, MaskedFaultIsUntestable) {
+  // f = (a & b) | (a & b): the second copy's internal faults are
+  // masked... build the classic redundant OR of identical terms.
+  Network net("m");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId t1 = net.add_gate(GateKind::kAnd, {a, b}, 1.0, "t1");
+  const GateId t2 = net.add_gate(GateKind::kAnd, {a, b}, 1.0, "t2");
+  const GateId o = net.add_gate(GateKind::kOr, {t1, t2}, 1.0);
+  net.add_output("f", o);
+  Atpg atpg(net);
+  // t2 stuck-at-0 never changes f (t1 still computes a&b).
+  const Fault f{Fault::Site::kStem, t2, ConnId::invalid(), false};
+  EXPECT_FALSE(atpg.is_testable(f));
+  // But t2 stuck-at-1 is testable (a=0: f becomes 1 instead of 0).
+  const Fault f1{Fault::Site::kStem, t2, ConnId::invalid(), true};
+  const auto test = atpg.generate_test(f1);
+  ASSERT_TRUE(test.has_value());
+  expect_test_detects(net, f1, *test);
+}
+
+TEST(AtpgTest, BranchFaultDistinctFromStem) {
+  // g1 fans out to both outputs; a branch fault affects only one.
+  Network net("b");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g1 = net.add_gate(GateKind::kAnd, {a, b}, 1.0, "g1");
+  const GateId o1 = net.add_gate(GateKind::kBuf, {g1}, 1.0);
+  const GateId o2 = net.add_gate(GateKind::kBuf, {g1}, 1.0);
+  net.add_output("f", o1);
+  net.add_output("h", o2);
+  Atpg atpg(net);
+  const ConnId branch = net.gate(o1).fanins[0];
+  const Fault f{Fault::Site::kBranch, GateId::invalid(), branch, false};
+  const auto test = atpg.generate_test(f);
+  ASSERT_TRUE(test.has_value());
+  // The branch fault flips output f only.
+  Network faulty = inject_fault(net, f);
+  const auto good = eval_once(net, *test);
+  const auto bad = eval_once(faulty, *test);
+  EXPECT_NE(good[0], bad[0]);
+  EXPECT_EQ(good[1], bad[1]);
+}
+
+TEST(AtpgTest, GeneratedTestsDetectOnRandomCircuits) {
+  for (std::uint64_t seed = 60; seed < 66; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.gates = 30;
+    Network net = random_network(opts);
+    Atpg atpg(net);
+    std::size_t testable = 0;
+    for (const Fault& f : collapsed_faults(net)) {
+      const auto test = atpg.generate_test(f);
+      if (!test) continue;
+      ++testable;
+      expect_test_detects(net, f, *test);
+    }
+    EXPECT_GT(testable, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AtpgTest, UntestableMeansFunctionPreservedWhenAsserted) {
+  // For every untestable fault found, asserting the stuck value must
+  // leave the circuit function unchanged (the definition of redundancy).
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  Atpg atpg(net);
+  std::size_t redundant = 0;
+  for (const Fault& f : collapsed_faults(net)) {
+    if (atpg.is_testable(f)) continue;
+    ++redundant;
+    Network faulty = inject_fault(net, f);
+    EXPECT_TRUE(exhaustive_equiv(net, faulty).equivalent)
+        << format_fault(net, f);
+  }
+  EXPECT_GE(redundant, 2u);  // one per block
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,130 @@
+#include "src/netlist/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+const char kSmallBlif[] = R"(
+# a tiny model
+.model small
+.inputs a b c
+.outputs f g
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.names a g
+0 1
+.end
+)";
+
+TEST(BlifTest, ReadSmallModel) {
+  Network net = read_blif_string(kSmallBlif);
+  EXPECT_EQ(net.name(), "small");
+  EXPECT_EQ(net.inputs().size(), 3u);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.check(), "");
+  // f = (a & b) | c, g = !a.
+  EXPECT_TRUE(eval_once(net, {true, true, false})[0]);
+  EXPECT_FALSE(eval_once(net, {true, false, false})[0]);
+  EXPECT_TRUE(eval_once(net, {false, false, true})[0]);
+  EXPECT_TRUE(eval_once(net, {false, true, false})[1]);
+}
+
+TEST(BlifTest, ZeroPhaseCover) {
+  // f defined by its offset: f = !(a & b).
+  Network net = read_blif_string(
+      ".model z\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n");
+  EXPECT_TRUE(eval_once(net, {false, true})[0]);
+  EXPECT_FALSE(eval_once(net, {true, true})[0]);
+}
+
+TEST(BlifTest, ConstantNodes) {
+  Network net = read_blif_string(
+      ".model k\n.inputs a\n.outputs one zero\n"
+      ".names one\n1\n.names zero\n.end\n");
+  EXPECT_TRUE(eval_once(net, {false})[0]);
+  EXPECT_FALSE(eval_once(net, {false})[1]);
+}
+
+TEST(BlifTest, OutOfOrderDefinitions) {
+  Network net = read_blif_string(
+      ".model o\n.inputs a b\n.outputs f\n"
+      ".names t f\n1 1\n.names a b t\n11 1\n.end\n");
+  EXPECT_TRUE(eval_once(net, {true, true})[0]);
+  EXPECT_FALSE(eval_once(net, {true, false})[0]);
+}
+
+TEST(BlifTest, ContinuationLines) {
+  Network net = read_blif_string(
+      ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n");
+  EXPECT_EQ(net.inputs().size(), 2u);
+}
+
+TEST(BlifTest, RejectsLatch) {
+  EXPECT_THROW(read_blif_string(".model l\n.inputs a\n.outputs f\n"
+                                ".latch a f 0\n.end\n"),
+               BlifError);
+}
+
+TEST(BlifTest, RejectsCycle) {
+  EXPECT_THROW(
+      read_blif_string(".model y\n.inputs a\n.outputs f\n"
+                       ".names f a g\n11 1\n.names g a f\n11 1\n.end\n"),
+      BlifError);
+}
+
+TEST(BlifTest, RejectsUndefinedSignal) {
+  EXPECT_THROW(read_blif_string(
+                   ".model u\n.inputs a\n.outputs f\n.names q f\n1 1\n.end\n"),
+               BlifError);
+}
+
+TEST(BlifTest, RoundTripAdder) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  const std::string text = write_blif_string(net);
+  Network back = read_blif_string(text);
+  EXPECT_EQ(back.inputs().size(), net.inputs().size());
+  EXPECT_EQ(back.outputs().size(), net.outputs().size());
+  EXPECT_TRUE(exhaustive_equiv(net, back).equivalent);
+}
+
+TEST(BlifTest, RoundTripComplexGates) {
+  Network net = carry_skip_adder(3, 3);  // contains XOR and MUX gates
+  const std::string text = write_blif_string(net);
+  Network back = read_blif_string(text);
+  EXPECT_TRUE(exhaustive_equiv(net, back).equivalent);
+}
+
+TEST(BlifTest, RoundTripRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.inputs = 6;
+    opts.gates = 30;
+    Network net = random_network(opts);
+    Network back = read_blif_string(write_blif_string(net));
+    EXPECT_TRUE(exhaustive_equiv(net, back).equivalent) << "seed " << seed;
+  }
+}
+
+TEST(BlifTest, RoundTripConstants) {
+  Network net("k");
+  net.add_input("a");
+  net.add_output("one", net.const_gate(true));
+  net.add_output("zero", net.const_gate(false));
+  Network back = read_blif_string(write_blif_string(net));
+  EXPECT_TRUE(eval_once(back, {false})[0]);
+  EXPECT_FALSE(eval_once(back, {false})[1]);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,81 @@
+// Soundness of structural fault collapsing: every fault in the full
+// list must have the same testability status as its surviving
+// representative — verified from first principles by fault injection
+// and exhaustive equivalence on small circuits.
+#include <gtest/gtest.h>
+
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/inject.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+/// Ground truth: a fault is testable iff the injected machine differs
+/// from the good machine on some input (exhaustive check).
+bool truly_testable(const Network& net, const Fault& f) {
+  Network faulty = inject_fault(net, f);
+  return !exhaustive_equiv(net, faulty).equivalent;
+}
+
+class CollapseSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollapseSoundness, AtpgAgreesWithGroundTruthOnAllFaults) {
+  RandomNetworkOptions opts;
+  opts.seed = 9000 + static_cast<std::uint64_t>(GetParam());
+  opts.inputs = 6;
+  opts.gates = 18;
+  Network net = random_network(opts);
+  Atpg atpg(net);
+  for (const Fault& f : enumerate_faults(net)) {
+    EXPECT_EQ(atpg.is_testable(f), truly_testable(net, f))
+        << format_fault(net, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseSoundness, ::testing::Range(0, 6));
+
+TEST(CollapseSoundnessTest, CollapsedCoverageEqualsFullCoverage) {
+  // A test set detecting every collapsed fault must detect every fault
+  // of the full list too (collapsing must not hide anything).
+  for (std::uint64_t seed = 9100; seed < 9104; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.inputs = 6;
+    opts.gates = 16;
+    Network net = random_network(opts);
+    Atpg atpg(net);
+    std::size_t full_testable = 0, collapsed_testable = 0;
+    for (const Fault& f : enumerate_faults(net))
+      if (atpg.is_testable(f)) ++full_testable;
+    for (const Fault& f : collapsed_faults(net))
+      if (atpg.is_testable(f)) ++collapsed_testable;
+    // Per collapsing soundness a class is testable iff its
+    // representative is; if the collapsed list is fully testable, the
+    // full list must be too.
+    if (collapsed_testable == collapsed_faults(net).size()) {
+      EXPECT_EQ(full_testable, enumerate_faults(net).size()) << seed;
+    }
+  }
+}
+
+TEST(CollapseSoundnessTest, CarrySkipEquivalenceClassesConsistent) {
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  Atpg atpg(net);
+  // Every fault of the FULL list must agree with ground truth, so the
+  // two known redundancies are found regardless of collapsing.
+  std::size_t untestable = 0;
+  for (const Fault& f : enumerate_faults(net))
+    if (!atpg.is_testable(f)) ++untestable;
+  // The two redundant classes cover at least two raw faults.
+  EXPECT_GE(untestable, 2u);
+  // And the collapsed count matches Table I exactly.
+  EXPECT_EQ(count_redundancies(net), 2u);
+}
+
+}  // namespace
+}  // namespace kms

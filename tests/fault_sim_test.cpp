@@ -1,0 +1,91 @@
+#include "src/atpg/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/inject.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+TEST(FaultSimTest, AgreesWithInjectionSimulation) {
+  // For each fault and pattern word, the detection mask must equal the
+  // brute-force comparison of good and injected circuits.
+  RandomNetworkOptions opts;
+  opts.seed = 90;
+  opts.gates = 25;
+  Network net = random_network(opts);
+  const auto faults = collapsed_faults(net);
+  FaultSimulator sim(net);
+  Rng rng(4);
+  std::vector<std::uint64_t> words(net.inputs().size());
+  for (auto& w : words) w = rng.next_u64();
+  const auto masks = sim.detect_words(faults, words);
+  ASSERT_EQ(masks.size(), faults.size());
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    Network faulty = inject_fault(net, faults[i]);
+    Simulator gs(net), fs(faulty);
+    gs.run(words);
+    fs.run(words);
+    std::uint64_t expected = 0;
+    for (std::size_t o = 0; o < net.outputs().size(); ++o)
+      expected |= gs.output_word(o) ^ fs.output_word(o);
+    EXPECT_EQ(masks[i], expected) << format_fault(net, faults[i]);
+  }
+}
+
+TEST(FaultSimTest, DetectsEasyFaultsQuickly) {
+  Network net = ripple_carry_adder(4);
+  decompose_to_simple(net);
+  const auto faults = collapsed_faults(net);
+  FaultSimulator sim(net);
+  Rng rng(5);
+  const auto detected = sim.detect_random(faults, 16, rng);
+  std::size_t count = 0;
+  for (bool d : detected)
+    if (d) ++count;
+  // Random patterns detect the overwhelming majority in an adder.
+  EXPECT_GT(count, faults.size() * 8 / 10);
+}
+
+TEST(FaultSimTest, NeverDetectsRedundantFaults) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  const auto faults = collapsed_faults(net);
+  Atpg atpg(net);
+  FaultSimulator sim(net);
+  Rng rng(6);
+  const auto detected = sim.detect_random(faults, 32, rng);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (detected[i])
+      EXPECT_TRUE(atpg.is_testable(faults[i]))
+          << format_fault(net, faults[i]);
+  }
+}
+
+TEST(FaultSimTest, CoverageOfAtpgTestSetIsComplete) {
+  Network net = ripple_carry_adder(3);
+  decompose_to_simple(net);
+  const auto faults = collapsed_faults(net);
+  Atpg atpg(net);
+  std::vector<std::vector<bool>> tests;
+  for (const Fault& f : faults) {
+    auto t = atpg.generate_test(f);
+    if (t) tests.push_back(std::move(*t));
+  }
+  EXPECT_DOUBLE_EQ(fault_coverage(net, faults, tests), 1.0);
+}
+
+TEST(FaultSimTest, CoverageZeroWithNoTests) {
+  Network net = ripple_carry_adder(2);
+  const auto faults = collapsed_faults(net);
+  EXPECT_DOUBLE_EQ(fault_coverage(net, faults, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace kms

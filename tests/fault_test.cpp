@@ -1,0 +1,97 @@
+#include "src/atpg/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+
+namespace kms {
+namespace {
+
+Network small_net() {
+  // g1 = a & b (fanout 2); g2 = g1 | c; g3 = !g1.
+  Network net("s");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId c = net.add_input("c");
+  const GateId g1 = net.add_gate(GateKind::kAnd, {a, b}, 1.0, "g1");
+  const GateId g2 = net.add_gate(GateKind::kOr, {g1, c}, 1.0, "g2");
+  const GateId g3 = net.add_gate(GateKind::kNot, {g1}, 1.0, "g3");
+  net.add_output("f", g2);
+  net.add_output("h", g3);
+  return net;
+}
+
+TEST(FaultTest, EnumerationCoversStemsAndBranches) {
+  Network net = small_net();
+  const auto faults = enumerate_faults(net);
+  std::size_t stems = 0, branches = 0;
+  for (const Fault& f : faults)
+    (f.site == Fault::Site::kStem ? stems : branches) += 1;
+  // Stems: a, b, c, g1, g2, g3 -> 6 gates x 2 values = 12.
+  EXPECT_EQ(stems, 12u);
+  // Branches: only g1 has fanout > 1: 2 conns x 2 values = 4.
+  EXPECT_EQ(branches, 4u);
+}
+
+TEST(FaultTest, NoFaultsOnDeadOrConstantGates) {
+  Network net = small_net();
+  net.const_gate(true);  // unused constant
+  const auto faults = enumerate_faults(net);
+  for (const Fault& f : faults) {
+    const GateId src = fault_source(net, f);
+    EXPECT_FALSE(is_constant(net.gate(src).kind));
+  }
+}
+
+TEST(FaultTest, CollapsingShrinksList) {
+  Network net = small_net();
+  const auto full = enumerate_faults(net);
+  const auto collapsed = collapsed_faults(net);
+  EXPECT_LT(collapsed.size(), full.size());
+  EXPECT_GT(collapsed.size(), 0u);
+}
+
+TEST(FaultTest, CollapsingAndGateRule) {
+  // For a fanout-free AND: input SA0s and output SA0 are one class.
+  Network net("a");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+  net.add_output("f", g);
+  const auto collapsed = collapsed_faults(net);
+  // Full list: stems a,b,g x2 = 6. Classes: {a0,b0,g0}, {a1}, {b1}, {g1}.
+  EXPECT_EQ(collapsed.size(), 4u);
+}
+
+TEST(FaultTest, CollapsingInverterChain) {
+  // NOT chain: every fault collapses onto the head equivalences.
+  Network net("n");
+  const GateId a = net.add_input("a");
+  const GateId n1 = net.add_gate(GateKind::kNot, {a}, 1.0);
+  const GateId n2 = net.add_gate(GateKind::kNot, {n1}, 1.0);
+  net.add_output("f", n2);
+  const auto collapsed = collapsed_faults(net);
+  // a/SA0 == n1/SA1 == n2/SA0; a/SA1 == n1/SA0 == n2/SA1 -> 2 classes.
+  EXPECT_EQ(collapsed.size(), 2u);
+}
+
+TEST(FaultTest, FormatFaultMentionsSite) {
+  Network net = small_net();
+  const auto faults = enumerate_faults(net);
+  ASSERT_FALSE(faults.empty());
+  const std::string s = format_fault(net, faults[0]);
+  EXPECT_NE(s.find("/SA"), std::string::npos);
+}
+
+TEST(FaultTest, CarrySkipFaultCountsScaleWithBits) {
+  Network small = carry_skip_adder(4, 2);
+  Network large = carry_skip_adder(8, 2);
+  decompose_to_simple(small);
+  decompose_to_simple(large);
+  EXPECT_GT(collapsed_faults(large).size(),
+            collapsed_faults(small).size());
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,43 @@
+#include "src/base/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace kms {
+namespace {
+
+TEST(IdsTest, DefaultIsInvalid) {
+  GateId g;
+  EXPECT_FALSE(g.is_valid());
+  EXPECT_EQ(g, GateId::invalid());
+}
+
+TEST(IdsTest, ValueRoundTrip) {
+  const GateId g{42};
+  EXPECT_TRUE(g.is_valid());
+  EXPECT_EQ(g.value(), 42u);
+}
+
+TEST(IdsTest, Comparisons) {
+  EXPECT_EQ(GateId{1}, GateId{1});
+  EXPECT_NE(GateId{1}, GateId{2});
+  EXPECT_LT(GateId{1}, GateId{2});
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<GateId, ConnId>);
+  static_assert(!std::is_convertible_v<GateId, ConnId>);
+  SUCCEED();
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_set<GateId> set;
+  set.insert(GateId{1});
+  set.insert(GateId{2});
+  set.insert(GateId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kms

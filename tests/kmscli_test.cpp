@@ -1,0 +1,86 @@
+// End-to-end test of the kmscli tool: drives the real binary through
+// the BLIF-in / BLIF-out flow a downstream user would script.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/atpg/atpg.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/blif.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+
+#ifndef KMSCLI_PATH
+#error "KMSCLI_PATH must be defined by the build"
+#endif
+
+namespace kms {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+int run_cli(const std::string& args) {
+  const std::string cmd = std::string(KMSCLI_PATH) + " " + args;
+  return std::system(cmd.c_str());
+}
+
+TEST(KmscliTest, UsageErrorOnNoArgs) {
+  EXPECT_NE(run_cli("") & 0xFF00, 0);  // nonzero exit
+}
+
+TEST(KmscliTest, IrrProducesEquivalentIrredundantBlif) {
+  // Prepare a redundant circuit on disk.
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  const std::string in_path = temp_path("kmscli_in.blif");
+  const std::string out_path = temp_path("kmscli_out.blif");
+  write_blif_file(net, in_path);
+
+  ASSERT_EQ(run_cli("irr " + in_path + " -o " + out_path + " 2>/dev/null"),
+            0);
+
+  Network result = read_blif_file(out_path);
+  EXPECT_TRUE(exhaustive_equiv(net, result).equivalent);
+  EXPECT_EQ(count_redundancies(result), 0u);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(KmscliTest, ViabilityModeAccepted) {
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  const std::string in_path = temp_path("kmscli_v.blif");
+  const std::string out_path = temp_path("kmscli_v_out.blif");
+  write_blif_file(net, in_path);
+  ASSERT_EQ(run_cli("irr " + in_path + " -o " + out_path +
+                    " --mode viability 2>/dev/null"),
+            0);
+  Network result = read_blif_file(out_path);
+  EXPECT_TRUE(exhaustive_equiv(net, result).equivalent);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(KmscliTest, StatsAndDelayAndAuditRun) {
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  const std::string in_path = temp_path("kmscli_s.blif");
+  write_blif_file(net, in_path);
+  EXPECT_EQ(run_cli("stats " + in_path + " >/dev/null"), 0);
+  EXPECT_EQ(run_cli("delay " + in_path + " >/dev/null"), 0);
+  EXPECT_EQ(run_cli("audit " + in_path + " >/dev/null"), 0);
+  std::remove(in_path.c_str());
+}
+
+TEST(KmscliTest, MissingFileFails) {
+  EXPECT_NE(run_cli("stats /nonexistent.blif 2>/dev/null") & 0xFF00, 0);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,108 @@
+#include "src/timing/load_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+TEST(LoadModelTest, DelayGrowsWithFanout) {
+  LoadDelayModel model;
+  EXPECT_LT(model.gate_delay(GateKind::kAnd, Drive::kNormal, 1),
+            model.gate_delay(GateKind::kAnd, Drive::kNormal, 4));
+}
+
+TEST(LoadModelTest, StrongerDriveIsFaster) {
+  LoadDelayModel model;
+  for (std::size_t fanout : {2u, 8u, 30u}) {
+    EXPECT_GT(model.gate_delay(GateKind::kOr, Drive::kNormal, fanout),
+              model.gate_delay(GateKind::kOr, Drive::kHigh, fanout));
+    EXPECT_GT(model.gate_delay(GateKind::kOr, Drive::kHigh, fanout),
+              model.gate_delay(GateKind::kOr, Drive::kSuper, fanout));
+  }
+}
+
+TEST(LoadModelTest, ApplySetsAllDelays) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  LoadDelayModel model;
+  DriveMap drives;
+  apply_load_delays(net, model, drives);
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const Gate& g = net.gate(GateId{i});
+    if (g.dead || !is_logic(g.kind) || is_constant(g.kind)) continue;
+    EXPECT_GE(g.delay, model.base(g.kind));
+  }
+}
+
+TEST(LoadModelTest, ResizeRestoresDelayAfterFanoutGrowth) {
+  // Simulate the Section VI.2 situation: a gate's fanout doubles;
+  // resizing must recover its original delay.
+  Network net("r");
+  const GateId a = net.add_input("a");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, a}, 1.0);
+  std::vector<GateId> sinks;
+  for (int i = 0; i < 3; ++i)
+    sinks.push_back(net.add_gate(GateKind::kNot, {g}, 1.0));
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    net.add_output("o" + std::to_string(i), sinks[i]);
+
+  LoadDelayModel model;
+  DriveMap drives;
+  apply_load_delays(net, model, drives);
+  const auto reference = fanout_profile(net);
+  const double before = net.gate(g).delay;
+
+  // Double g's fanout (three more sinks).
+  for (int i = 0; i < 3; ++i) {
+    const GateId s = net.add_gate(GateKind::kNot, {g}, 1.0);
+    net.add_output("x" + std::to_string(i), s);
+  }
+  apply_load_delays(net, model, drives);
+  EXPECT_GT(net.gate(g).delay, before);
+
+  const std::size_t upgraded = resize_for_fanout(net, model, drives, reference);
+  EXPECT_GE(upgraded, 1u);
+  EXPECT_LE(net.gate(g).delay, before + 1e-12);
+  EXPECT_NE(static_cast<int>(drives.get(g)),
+            static_cast<int>(Drive::kNormal));
+}
+
+TEST(LoadModelTest, KmsDelayRecoverableUnderLoadModel) {
+  // End-to-end Section VI.2: run KMS under the load model, then absorb
+  // any duplication-induced fanout growth by cell resizing. The final
+  // topological delay must not exceed the original one.
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  LoadDelayModel model;
+  DriveMap drives;
+  apply_load_delays(net, model, drives);
+  const auto reference = fanout_profile(net);
+  const double before = topological_delay(net);
+
+  KmsOptions opts;
+  kms_make_irredundant(net, opts);
+  // Refresh delays under the load model (fanouts changed), then resize.
+  apply_load_delays(net, model, drives);
+  resize_for_fanout(net, model, drives, reference);
+  const double after = topological_delay(net);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(LoadModelTest, DriveMapDefaultsToNormal) {
+  DriveMap drives;
+  EXPECT_EQ(static_cast<int>(drives.get(GateId{5})),
+            static_cast<int>(Drive::kNormal));
+  drives.set(GateId{5}, Drive::kSuper);
+  EXPECT_EQ(static_cast<int>(drives.get(GateId{5})),
+            static_cast<int>(Drive::kSuper));
+  EXPECT_EQ(static_cast<int>(drives.get(GateId{4})),
+            static_cast<int>(Drive::kNormal));
+}
+
+}  // namespace
+}  // namespace kms

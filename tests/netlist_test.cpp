@@ -1,0 +1,184 @@
+#include "src/netlist/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/gate.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+Network tiny_and_or() {
+  // f = (a & b) | c
+  Network net("tiny");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId c = net.add_input("c");
+  const GateId g1 = net.add_gate(GateKind::kAnd, {a, b}, 1.0, "g1");
+  const GateId g2 = net.add_gate(GateKind::kOr, {g1, c}, 1.0, "g2");
+  net.add_output("f", g2);
+  return net;
+}
+
+TEST(NetworkTest, BuildAndCheck) {
+  Network net = tiny_and_or();
+  EXPECT_EQ(net.check(), "");
+  EXPECT_EQ(net.inputs().size(), 3u);
+  EXPECT_EQ(net.outputs().size(), 1u);
+  EXPECT_EQ(net.count_gates(), 2u);
+  EXPECT_EQ(net.depth(), 2u);
+}
+
+TEST(NetworkTest, TopoOrderRespectsEdges) {
+  Network net = tiny_and_or();
+  const auto order = net.topo_order();
+  std::vector<int> pos(net.gate_capacity(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[order[i].value()] = static_cast<int>(i);
+  for (std::uint32_t c = 0; c < net.conn_capacity(); ++c) {
+    const Conn& cn = net.conn(ConnId{c});
+    if (cn.dead) continue;
+    EXPECT_LT(pos[cn.from.value()], pos[cn.to.value()]);
+  }
+}
+
+TEST(NetworkTest, GateKindProperties) {
+  EXPECT_TRUE(has_controlling_value(GateKind::kAnd));
+  EXPECT_FALSE(controlling_value(GateKind::kAnd));
+  EXPECT_TRUE(controlling_value(GateKind::kOr));
+  EXPECT_TRUE(controlling_value(GateKind::kNor));
+  EXPECT_FALSE(controlling_value(GateKind::kNand));
+  EXPECT_FALSE(has_controlling_value(GateKind::kXor));
+  EXPECT_TRUE(is_simple(GateKind::kNot));
+  EXPECT_FALSE(is_simple(GateKind::kMux));
+  EXPECT_TRUE(is_inverting(GateKind::kNor));
+  EXPECT_FALSE(is_inverting(GateKind::kOr));
+}
+
+TEST(NetworkTest, EvalGateTruthTables) {
+  EXPECT_TRUE(eval_gate(GateKind::kAnd, 0b11, 2));
+  EXPECT_FALSE(eval_gate(GateKind::kAnd, 0b01, 2));
+  EXPECT_TRUE(eval_gate(GateKind::kNand, 0b01, 2));
+  EXPECT_TRUE(eval_gate(GateKind::kOr, 0b10, 2));
+  EXPECT_FALSE(eval_gate(GateKind::kNor, 0b10, 2));
+  EXPECT_TRUE(eval_gate(GateKind::kXor, 0b01, 2));
+  EXPECT_FALSE(eval_gate(GateKind::kXor, 0b11, 2));
+  EXPECT_TRUE(eval_gate(GateKind::kXnor, 0b11, 2));
+  // MUX fanins (s, a, b): s=1 selects a.
+  EXPECT_TRUE(eval_gate(GateKind::kMux, 0b011, 3));   // s=1,a=1,b=0 -> 1
+  EXPECT_FALSE(eval_gate(GateKind::kMux, 0b101, 3));  // s=1,a=0,b=1 -> 0
+  EXPECT_TRUE(eval_gate(GateKind::kMux, 0b100, 3));   // s=0,a=0,b=1 -> 1
+}
+
+TEST(NetworkTest, RerouteSourcePreservesPin) {
+  Network net = tiny_and_or();
+  const GateId g2 = net.conn(net.gate(net.outputs()[0]).fanins[0]).from;
+  const ConnId c0 = net.gate(g2).fanins[0];  // g1 -> g2
+  const GateId a = net.inputs()[0];
+  net.reroute_source(c0, a);
+  EXPECT_EQ(net.check(), "");
+  EXPECT_EQ(net.conn(c0).from, a);
+  EXPECT_EQ(net.pin_of(c0), 0u);
+}
+
+TEST(NetworkTest, RemoveConnAndGate) {
+  Network net = tiny_and_or();
+  const GateId po = net.outputs()[0];
+  const GateId g2 = net.conn(net.gate(po).fanins[0]).from;
+  const ConnId and_to_or = net.gate(g2).fanins[0];
+  const GateId g1 = net.conn(and_to_or).from;
+  net.remove_conn(and_to_or);
+  EXPECT_EQ(net.check(), "");
+  net.remove_gate(g1);
+  EXPECT_EQ(net.check(), "");
+  EXPECT_EQ(net.count_gates(), 1u);
+}
+
+TEST(NetworkTest, DuplicateGateCopiesFaninsAndDelays) {
+  Network net = tiny_and_or();
+  const GateId po = net.outputs()[0];
+  const GateId g2 = net.conn(net.gate(po).fanins[0]).from;
+  const GateId g1 = net.conn(net.gate(g2).fanins[0]).from;
+  net.conn(net.gate(g1).fanins[0]).delay = 0.5;
+  const GateId dup = net.duplicate_gate(g1);
+  EXPECT_EQ(net.check(), "");
+  EXPECT_EQ(net.gate(dup).kind, GateKind::kAnd);
+  EXPECT_EQ(net.gate(dup).delay, 1.0);
+  ASSERT_EQ(net.gate(dup).fanins.size(), 2u);
+  EXPECT_EQ(net.conn(net.gate(dup).fanins[0]).delay, 0.5);
+  EXPECT_TRUE(net.gate(dup).fanouts.empty());
+}
+
+TEST(NetworkTest, ConvertToConstant) {
+  Network net = tiny_and_or();
+  const GateId po = net.outputs()[0];
+  const GateId g2 = net.conn(net.gate(po).fanins[0]).from;
+  const GateId g1 = net.conn(net.gate(g2).fanins[0]).from;
+  net.convert_to_constant(g1, true);
+  EXPECT_EQ(net.check(), "");
+  EXPECT_EQ(net.gate(g1).kind, GateKind::kConst1);
+  // f = 1 | c = 1 for all inputs.
+  for (bool a : {false, true})
+    for (bool b : {false, true})
+      for (bool c : {false, true})
+        EXPECT_TRUE(eval_once(net, {a, b, c})[0]);
+}
+
+TEST(NetworkTest, SweepRemovesDanglingCone) {
+  Network net = tiny_and_or();
+  const GateId a = net.inputs()[0];
+  // A dangling NOT chain.
+  const GateId n1 = net.add_gate(GateKind::kNot, {a}, 1.0);
+  net.add_gate(GateKind::kNot, {n1}, 1.0);
+  EXPECT_EQ(net.count_gates(), 4u);
+  EXPECT_EQ(net.sweep(), 2u);
+  EXPECT_EQ(net.count_gates(), 2u);
+  EXPECT_EQ(net.check(), "");
+}
+
+TEST(NetworkTest, SweepKeepsPrimaryInputs) {
+  Network net = tiny_and_or();
+  // Disconnect input c from the OR gate.
+  const GateId po = net.outputs()[0];
+  const GateId g2 = net.conn(net.gate(po).fanins[0]).from;
+  net.remove_conn(net.gate(g2).fanins[1]);
+  net.sweep();
+  EXPECT_EQ(net.inputs().size(), 3u);
+  EXPECT_FALSE(net.gate(net.inputs()[2]).dead);
+}
+
+TEST(NetworkTest, CloneCompactPreservesFunctionAndInterface) {
+  Network net = tiny_and_or();
+  // Create some tombstones first.
+  const GateId a = net.inputs()[0];
+  const GateId junk = net.add_gate(GateKind::kNot, {a}, 1.0);
+  net.remove_gate(junk);
+  Network copy = net.clone_compact();
+  EXPECT_EQ(copy.check(), "");
+  EXPECT_EQ(copy.inputs().size(), net.inputs().size());
+  EXPECT_EQ(copy.outputs().size(), net.outputs().size());
+  EXPECT_EQ(copy.gate(copy.inputs()[0]).name, "a");
+  const auto eq = exhaustive_equiv(net, copy);
+  EXPECT_TRUE(eq.equivalent);
+}
+
+TEST(NetworkTest, ConstGateIsShared) {
+  Network net("c");
+  const GateId c1 = net.const_gate(true);
+  const GateId c2 = net.const_gate(true);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(net.const_gate(false), c1);
+}
+
+TEST(NetworkTest, MaxFanout) {
+  Network net("f");
+  const GateId a = net.add_input("a");
+  const GateId n = net.add_gate(GateKind::kNot, {a}, 1.0);
+  const GateId x = net.add_gate(GateKind::kAnd, {n, n}, 1.0);
+  const GateId y = net.add_gate(GateKind::kOr, {n, x}, 1.0);
+  net.add_output("y", y);
+  EXPECT_EQ(net.max_fanout(), 3u);  // n feeds x twice and y once
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,143 @@
+#include "src/opt/opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+TEST(OptTest, StrashMergesIdenticalGates) {
+  Network net("s");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId t1 = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+  const GateId t2 = net.add_gate(GateKind::kAnd, {b, a}, 1.0);  // commuted
+  const GateId o = net.add_gate(GateKind::kOr, {t1, t2}, 1.0);
+  net.add_output("f", o);
+  Network orig = net;
+  EXPECT_GE(strash(net), 1u);
+  EXPECT_EQ(net.check(), "");
+  EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent);
+  EXPECT_LE(net.count_gates(), 2u);
+}
+
+TEST(OptTest, StrashCancelsDoubleInverters) {
+  Network net("i");
+  const GateId a = net.add_input("a");
+  const GateId n1 = net.add_gate(GateKind::kNot, {a}, 1.0);
+  const GateId n2 = net.add_gate(GateKind::kNot, {n1}, 1.0);
+  const GateId g = net.add_gate(GateKind::kAnd, {n2, a}, 1.0);
+  net.add_output("f", g);
+  strash(net);
+  EXPECT_EQ(net.count_gates(), 1u);  // just the AND on (a, a)
+  EXPECT_TRUE(eval_once(net, {true})[0]);
+  EXPECT_FALSE(eval_once(net, {false})[0]);
+}
+
+TEST(OptTest, StrashPreservesRandomCircuits) {
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.gates = 40;
+    Network net = random_network(opts);
+    Network orig = net;
+    strash(net);
+    EXPECT_EQ(net.check(), "") << seed;
+    EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent) << seed;
+    EXPECT_LE(net.count_gates(), orig.count_gates()) << seed;
+  }
+}
+
+TEST(OptTest, BalanceReducesChainDepth) {
+  // A long left-leaning AND chain balances to log depth.
+  Network net("b");
+  std::vector<GateId> ins;
+  for (int i = 0; i < 8; ++i)
+    ins.push_back(net.add_input("x" + std::to_string(i)));
+  GateId acc = ins[0];
+  for (int i = 1; i < 8; ++i)
+    acc = net.add_gate(GateKind::kAnd, {acc, ins[i]}, 1.0);
+  net.add_output("f", acc);
+  Network orig = net;
+  const double before = topological_delay(net);
+  EXPECT_GE(balance(net), 1u);
+  EXPECT_EQ(net.check(), "");
+  const double after = topological_delay(net);
+  EXPECT_LT(after, before);
+  EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent);
+}
+
+TEST(OptTest, BalanceRespectsArrivalTimes) {
+  // The late input must end up near the root.
+  Network net("l");
+  const GateId late = net.add_input("late", 10.0);
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId c = net.add_input("c");
+  GateId acc = net.add_gate(GateKind::kAnd, {late, a}, 1.0);
+  acc = net.add_gate(GateKind::kAnd, {acc, b}, 1.0);
+  acc = net.add_gate(GateKind::kAnd, {acc, c}, 1.0);
+  net.add_output("f", acc);
+  balance(net);
+  // Optimal: late joins last -> delay 11 (vs 13 unbalanced).
+  EXPECT_DOUBLE_EQ(topological_delay(net), 11.0);
+}
+
+TEST(OptTest, ShannonSpeedupPreservesFunction) {
+  for (std::uint64_t seed = 310; seed < 316; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.gates = 30;
+    opts.allow_xor = false;
+    Network net = random_network(opts);
+    Network orig = net;
+    const GateId pivot = net.inputs()[0];
+    if (!shannon_speedup(net, 0, pivot)) continue;
+    EXPECT_EQ(net.check(), "") << seed;
+    EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent) << seed;
+  }
+}
+
+TEST(OptTest, ShannonSpeedupReducesDelayForLateInput) {
+  // Deep chain gated by the late input at the very bottom: cofactoring
+  // against it moves it to the top, cutting its path to ~3 gates.
+  Network net("sp");
+  const GateId late = net.add_input("late", 10.0);
+  std::vector<GateId> ins;
+  for (int i = 0; i < 6; ++i)
+    ins.push_back(net.add_input("x" + std::to_string(i)));
+  GateId acc = net.add_gate(GateKind::kAnd, {late, ins[0]}, 1.0);
+  for (int i = 1; i < 6; ++i)
+    acc = net.add_gate(GateKind::kOr, {net.add_gate(GateKind::kAnd,
+                                                    {acc, ins[i]}, 1.0),
+                                       ins[i - 1]},
+                       1.0);
+  net.add_output("f", acc);
+  Network orig = net;
+  const double before = topological_delay(net);
+  ASSERT_TRUE(shannon_speedup(net, 0, late));
+  const double after = topological_delay(net);
+  EXPECT_LT(after, before);
+  EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent);
+}
+
+TEST(OptTest, ShannonSpeedupCriticalAppliesToLateOutputs) {
+  Network net("sc");
+  const GateId late = net.add_input("late", 5.0);
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  GateId acc = net.add_gate(GateKind::kAnd, {late, a}, 1.0);
+  acc = net.add_gate(GateKind::kOr, {acc, b}, 1.0);
+  acc = net.add_gate(GateKind::kAnd, {acc, a}, 1.0);
+  net.add_output("f", acc);
+  Network orig = net;
+  EXPECT_EQ(shannon_speedup_critical(net), 1u);
+  EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,154 @@
+// Reproduces the numbers of Section III of the paper on the 2-b
+// carry-skip adder of Fig. 1:
+//   * inputs arrive at t=0 except c0 at t=5; AND/OR delay 1, XOR/MUX 2;
+//   * the critical (sensitizable) path of the carry cone has length 8;
+//   * the longest path (c0 through the ripple chain) has length 11 and
+//     is NOT statically sensitizable;
+//   * the stuck-at-0 fault on the skip AND (gate 10) is untestable;
+//   * with that fault present the circuit needs 11 gate delays — the
+//     "speedtest" hazard;
+//   * the KMS algorithm produces an equivalent, fully testable circuit
+//     that is no slower (Figs. 2/6).
+#include <gtest/gtest.h>
+
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/inject.hpp"
+#include "src/cnf/encoder.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/timing/sensitize.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+AdderOptions section3_options() {
+  AdderOptions opts;
+  opts.and_or_delay = 1.0;
+  opts.xor_mux_delay = 2.0;
+  opts.cin_arrival = 5.0;
+  return opts;
+}
+
+/// The Fig. 4 subcircuit: the carry bit c2 of the 2-b carry-skip adder,
+/// as simple gates.
+Network carry_cone() {
+  Network net = carry_skip_adder(2, 2, section3_options());
+  Network cone = extract_output(net, net.outputs().size() - 1);  // cout
+  decompose_to_simple(cone);
+  return cone;
+}
+
+TEST(PaperExampleTest, LongestPathIsElevenGateDelays) {
+  Network cone = carry_cone();
+  EXPECT_DOUBLE_EQ(topological_delay(cone), 11.0);
+}
+
+TEST(PaperExampleTest, LongestPathStartsAtCarryIn) {
+  Network cone = carry_cone();
+  PathEnumerator en(cone);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->length, 11.0);
+  EXPECT_EQ(cone.gate(p->source).name, "cin");
+}
+
+TEST(PaperExampleTest, LongestPathNotStaticallySensitizable) {
+  Network cone = carry_cone();
+  Sensitizer sens(cone, SensitizationMode::kStatic);
+  PathEnumerator en(cone);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(sens.check(*p).has_value());
+}
+
+TEST(PaperExampleTest, LongestPathNotViableEither) {
+  // "We have only found one real family of circuits, the carry-skip
+  // adder, with stuck-at-fault redundancies and no viable longest path."
+  Network cone = carry_cone();
+  Sensitizer sens(cone, SensitizationMode::kViability);
+  PathEnumerator en(cone);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(sens.check(*p).has_value());
+}
+
+TEST(PaperExampleTest, CriticalPathIsEightGateDelays) {
+  Network cone = carry_cone();
+  const DelayReport r = computed_delay(cone, SensitizationMode::kStatic);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.delay, 8.0);
+  // The witness starts at an arrival-0 operand input, not at cin.
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_NE(cone.gate(r.witness->source).name, "cin");
+}
+
+TEST(PaperExampleTest, SkipAndStuckAtZeroIsRedundant) {
+  Network cone = carry_cone();
+  // Locate the skip AND by name (named by the generator).
+  GateId skip = GateId::invalid();
+  for (std::uint32_t i = 0; i < cone.gate_capacity(); ++i)
+    if (!cone.gate(GateId{i}).dead && cone.gate(GateId{i}).name == "skip0")
+      skip = GateId{i};
+  ASSERT_TRUE(skip.is_valid());
+  Atpg atpg(cone);
+  const Fault sa0{Fault::Site::kStem, skip, ConnId::invalid(), false};
+  EXPECT_FALSE(atpg.is_testable(sa0));
+  // ... and the circuit has at least one redundancy overall.
+  EXPECT_GE(count_redundancies(cone), 1u);
+}
+
+TEST(PaperExampleTest, FaultyCircuitNeedsElevenGateDelays) {
+  Network cone = carry_cone();
+  GateId skip = GateId::invalid();
+  for (std::uint32_t i = 0; i < cone.gate_capacity(); ++i)
+    if (!cone.gate(GateId{i}).dead && cone.gate(GateId{i}).name == "skip0")
+      skip = GateId{i};
+  ASSERT_TRUE(skip.is_valid());
+  const Fault sa0{Fault::Site::kStem, skip, ConnId::invalid(), false};
+  // NOTE: the faulty machine keeps its physical structure (the MUX is
+  // still on the chip) — no simplification, only the stuck value.
+  Network faulty = inject_fault(cone, sa0);
+  // The faulty machine behaves as a ripple-carry adder: its longest
+  // path is now sensitizable and the output is only valid after 11
+  // gate delays.
+  const DelayReport r = computed_delay(faulty, SensitizationMode::kStatic);
+  EXPECT_DOUBLE_EQ(r.delay, 11.0);
+}
+
+TEST(PaperExampleTest, KmsProducesEquallyFastIrredundantCone) {
+  Network cone = carry_cone();
+  Network original = cone;  // keep for the equivalence check
+  KmsOptions opts;
+  const KmsStats stats = kms_make_irredundant(cone, opts);
+  EXPECT_EQ(cone.check(), "");
+  // Functionally identical (exhaustive: 5 inputs).
+  EXPECT_TRUE(exhaustive_equiv(original, cone).equivalent);
+  // No slower than the original's computed delay of 8.
+  EXPECT_LE(stats.final_computed_delay, 8.0 + 1e-9);
+  EXPECT_LE(stats.final_topo_delay, 8.0 + 1e-9);
+  // Fully testable now: a speedtest is no longer required.
+  EXPECT_EQ(count_redundancies(cone), 0u);
+  // The loop performed at least one first-edge constant assertion.
+  EXPECT_GE(stats.constants_set, 1u);
+}
+
+TEST(PaperExampleTest, KmsOnFullAdderKeepsAllOutputs) {
+  // "if the algorithm is performed on the entire multiple output 2-b
+  // adder circuit then a different version of an irredundant circuit is
+  // obtained ... also no slower than the original circuit."
+  Network net = carry_skip_adder(2, 2, section3_options());
+  decompose_to_simple(net);
+  Network original = net;
+  const double before = computed_delay(net, SensitizationMode::kStatic).delay;
+  const KmsStats stats = kms_make_irredundant(net, {});
+  EXPECT_EQ(net.check(), "");
+  EXPECT_TRUE(exhaustive_equiv(original, net).equivalent);
+  EXPECT_LE(stats.final_computed_delay, before + 1e-9);
+  EXPECT_EQ(count_redundancies(net), 0u);
+}
+
+}  // namespace
+}  // namespace kms

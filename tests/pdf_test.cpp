@@ -1,0 +1,135 @@
+#include "src/timing/pdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/timing/path.hpp"
+
+namespace kms {
+namespace {
+
+/// Verify a returned two-vector test on the simulator: v1 and v2 must
+/// differ at the source, v2 must sensitize the path statically, and the
+/// steady-side conditions must hold.
+void verify_pdf_test(const Network& net, const Path& p, const PdfTest& t) {
+  ASSERT_EQ(t.v1.size(), net.inputs().size());
+  Simulator sim1(net), sim2(net);
+  std::vector<std::uint64_t> w1, w2;
+  for (bool b : t.v1) w1.push_back(b ? ~0ull : 0);
+  for (bool b : t.v2) w2.push_back(b ? ~0ull : 0);
+  sim1.run(w1);
+  sim2.run(w2);
+  EXPECT_NE(sim1.gate_word(p.source) & 1, sim2.gate_word(p.source) & 1);
+  for (std::size_t i = 0; i < p.gates.size(); ++i) {
+    const Gate& gt = net.gate(p.gates[i]);
+    if (!has_controlling_value(gt.kind)) continue;
+    for (ConnId c : gt.fanins) {
+      if (c == p.conns[i]) continue;
+      const GateId s = net.conn(c).from;
+      EXPECT_EQ(static_cast<bool>(sim2.gate_word(s) & 1),
+                noncontrolling_value(gt.kind))
+          << "final side value at " << format_path(net, p);
+    }
+  }
+}
+
+TEST(PdfTest, InverterChainAlwaysTestable) {
+  Network net("c");
+  const GateId a = net.add_input("a");
+  GateId g = a;
+  for (int i = 0; i < 4; ++i) g = net.add_gate(GateKind::kNot, {g}, 1.0);
+  net.add_output("f", g);
+  PathEnumerator en(net);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  for (bool rising : {true, false}) {
+    auto t = robust_pdf_test(net, *p, rising);
+    ASSERT_TRUE(t.has_value());
+    verify_pdf_test(net, *p, *t);
+  }
+}
+
+TEST(PdfTest, AndGatePathNeedsSteadySide) {
+  Network net("a");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+  net.add_output("f", g);
+  PathEnumerator en(net);
+  while (auto p = en.next()) {
+    auto t = robust_pdf_test(net, *p, true);
+    ASSERT_TRUE(t.has_value()) << format_path(net, *p);
+    verify_pdf_test(net, *p, *t);
+    // Rising transition through an AND needs the side input steady 1.
+    const std::size_t side = p->source == a ? 1 : 0;
+    EXPECT_TRUE(t->v1[side]);
+    EXPECT_TRUE(t->v2[side]);
+  }
+}
+
+TEST(PdfTest, FalsePathHasNoRobustTest) {
+  // a & !a style contradiction: path needs s and !s noncontrolling.
+  Network net("fp");
+  const GateId s = net.add_input("s");
+  const GateId a = net.add_input("a", 1.0);
+  const GateId ns = net.add_gate(GateKind::kNot, {s}, 1.0);
+  const GateId e1 = net.add_gate(GateKind::kAnd, {a, s}, 1.0);
+  const GateId x1 = net.add_gate(GateKind::kAnd, {e1, ns}, 1.0);
+  net.add_output("f", x1);
+  PathEnumerator en(net);
+  auto p = en.next();  // longest: a -> e1 -> x1
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->source, a);
+  EXPECT_FALSE(robust_pdf_testable(net, *p));
+}
+
+TEST(PdfTest, CarrySkipLongestPathIsPdfRedundant) {
+  // The false ripple path of the carry-skip adder has no robust delay
+  // test either — the "speedtest" problem in delay-fault language.
+  AdderOptions opts;
+  opts.cin_arrival = 5.0;
+  Network net = carry_skip_adder(2, 2, opts);
+  Network cone = extract_output(net, net.outputs().size() - 1);
+  decompose_to_simple(cone);
+  PathEnumerator en(cone);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(robust_pdf_testable(cone, *p));
+}
+
+TEST(PdfTest, RippleAdderCarryChainRobustlyTestable) {
+  Network net = ripple_carry_adder(3);
+  decompose_to_simple(net);
+  PathEnumerator en(net);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(robust_pdf_testable(net, *p));
+}
+
+TEST(PdfTest, AuditCountsConsistently) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  const PdfAudit audit = pdf_audit(net, 50);
+  EXPECT_EQ(audit.paths_examined, audit.robust_testable + audit.untestable);
+  EXPECT_GT(audit.paths_examined, 0u);
+}
+
+TEST(PdfTest, KmsImprovesLongestPathTestability) {
+  // After KMS the longest path is sensitizable; for the carry-skip
+  // family it also becomes robustly delay-testable, so the clock can be
+  // validated by a delay test — no speedtest needed.
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  apply_unit_delays(net);
+  kms_make_irredundant(net, {});
+  PathEnumerator en(net);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(robust_pdf_testable(net, *p));
+}
+
+}  // namespace
+}  // namespace kms

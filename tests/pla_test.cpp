@@ -1,0 +1,134 @@
+#include "src/pla/pla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+const char kSmallPla[] = R"(
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 10
+0-- 01
+.e
+)";
+
+TEST(PlaTest, ReadSmall) {
+  Pla pla = read_pla_string(kSmallPla);
+  EXPECT_EQ(pla.num_inputs, 3u);
+  EXPECT_EQ(pla.num_outputs, 2u);
+  EXPECT_EQ(pla.cubes.size(), 3u);
+  EXPECT_EQ(pla.check(), "");
+}
+
+TEST(PlaTest, RoundTrip) {
+  Pla pla = read_pla_string(kSmallPla);
+  std::ostringstream out;
+  write_pla(pla, out);
+  Pla back = read_pla_string(out.str());
+  EXPECT_EQ(back.cubes.size(), pla.cubes.size());
+  for (std::size_t i = 0; i < pla.cubes.size(); ++i) {
+    EXPECT_EQ(back.cubes[i].in, pla.cubes[i].in);
+    EXPECT_EQ(back.cubes[i].out, pla.cubes[i].out);
+  }
+}
+
+TEST(PlaTest, NetworkMatchesCoverSemantics) {
+  Pla pla = read_pla_string(kSmallPla);
+  Network net = pla_to_network(pla);
+  EXPECT_EQ(net.check(), "");
+  // f = (a&b) | c, g = !a.
+  EXPECT_TRUE(eval_once(net, {true, true, false})[0]);
+  EXPECT_TRUE(eval_once(net, {false, false, true})[0]);
+  EXPECT_FALSE(eval_once(net, {true, false, false})[0]);
+  EXPECT_TRUE(eval_once(net, {false, true, false})[1]);
+  EXPECT_FALSE(eval_once(net, {true, true, true})[1]);
+}
+
+TEST(PlaTest, SharedTermsAreNotDuplicated) {
+  // Same cube used by both outputs: one AND gate.
+  Pla pla;
+  pla.num_inputs = 2;
+  pla.num_outputs = 2;
+  pla.cubes.push_back({"11", "11"});
+  Network net = pla_to_network(pla);
+  EXPECT_EQ(net.count_gates(), 1u);  // a single AND, no OR needed
+}
+
+TEST(PlaTest, RandomPlaIsDeterministic) {
+  RandomPlaOptions opts;
+  opts.seed = 99;
+  Pla p1 = random_pla(opts);
+  Pla p2 = random_pla(opts);
+  ASSERT_EQ(p1.cubes.size(), p2.cubes.size());
+  for (std::size_t i = 0; i < p1.cubes.size(); ++i) {
+    EXPECT_EQ(p1.cubes[i].in, p2.cubes[i].in);
+    EXPECT_EQ(p1.cubes[i].out, p2.cubes[i].out);
+  }
+  EXPECT_EQ(p1.check(), "");
+}
+
+TEST(PlaTest, SimplifyCoverPreservesFunction) {
+  RandomPlaOptions opts;
+  opts.inputs = 6;
+  opts.outputs = 3;
+  opts.cubes = 40;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    opts.seed = seed;
+    Pla pla = random_pla(opts);
+    Network before = pla_to_network(pla);
+    Pla reduced = pla;
+    simplify_cover(reduced);
+    Network after = pla_to_network(reduced);
+    EXPECT_LE(reduced.cubes.size(), pla.cubes.size());
+    EXPECT_TRUE(exhaustive_equiv(before, after).equivalent)
+        << "seed " << seed;
+  }
+}
+
+TEST(PlaTest, SimplifyMergesDistanceOne) {
+  Pla pla;
+  pla.num_inputs = 2;
+  pla.num_outputs = 1;
+  pla.cubes.push_back({"10", "1"});
+  pla.cubes.push_back({"11", "1"});
+  EXPECT_EQ(simplify_cover(pla), 1u);
+  ASSERT_EQ(pla.cubes.size(), 1u);
+  EXPECT_EQ(pla.cubes[0].in, "1-");
+}
+
+TEST(PlaTest, SimplifyDropsContained) {
+  Pla pla;
+  pla.num_inputs = 3;
+  pla.num_outputs = 1;
+  pla.cubes.push_back({"1--", "1"});
+  pla.cubes.push_back({"11-", "1"});  // contained in the first
+  EXPECT_EQ(simplify_cover(pla), 1u);
+  EXPECT_EQ(pla.cubes.size(), 1u);
+}
+
+TEST(PlaTest, ConstantOutputs) {
+  Pla pla;
+  pla.num_inputs = 2;
+  pla.num_outputs = 2;
+  pla.cubes.push_back({"--", "10"});  // f = 1 always, g never on
+  Network net = pla_to_network(pla);
+  EXPECT_TRUE(eval_once(net, {false, false})[0]);
+  EXPECT_FALSE(eval_once(net, {true, true})[1]);
+}
+
+TEST(PlaTest, RejectsMalformed) {
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n111 1\n.e\n"), PlaError);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n1- x\n.e\n"), PlaError);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,71 @@
+#include "src/gen/random_logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+TEST(RandomLogicTest, DeterministicInSeed) {
+  RandomNetworkOptions opts;
+  opts.seed = 5;
+  Network a = random_network(opts);
+  Network b = random_network(opts);
+  EXPECT_EQ(a.count_gates(), b.count_gates());
+  EXPECT_TRUE(exhaustive_equiv(a, b).equivalent);
+}
+
+TEST(RandomLogicTest, RespectsInterfaceCounts) {
+  RandomNetworkOptions opts;
+  opts.inputs = 5;
+  opts.outputs = 3;
+  opts.seed = 9;
+  Network net = random_network(opts);
+  EXPECT_EQ(net.inputs().size(), 5u);
+  EXPECT_EQ(net.outputs().size(), 3u);
+  EXPECT_EQ(net.check(), "");
+}
+
+TEST(RandomLogicTest, DifferentSeedsGiveDifferentCircuits) {
+  RandomNetworkOptions opts;
+  opts.seed = 1;
+  Network a = random_network(opts);
+  opts.seed = 2;
+  Network b = random_network(opts);
+  EXPECT_FALSE(exhaustive_equiv(a, b).equivalent);
+}
+
+TEST(RandomLogicTest, ParityTreeComputesParity) {
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    Network net = parity_tree(n);
+    for (std::uint32_t v = 0; v < (1u << n); ++v) {
+      std::vector<bool> pis;
+      int ones = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool bit = (v >> i) & 1;
+        pis.push_back(bit);
+        ones += bit;
+      }
+      EXPECT_EQ(eval_once(net, pis)[0], ones % 2 == 1) << n << " " << v;
+    }
+  }
+}
+
+TEST(RandomLogicTest, ComparatorComparesCorrectly) {
+  const std::size_t bits = 3;
+  Network net = comparator(bits);
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = 0; b < 8; ++b) {
+      std::vector<bool> pis;
+      for (std::size_t i = 0; i < bits; ++i) pis.push_back((a >> i) & 1);
+      for (std::size_t i = 0; i < bits; ++i) pis.push_back((b >> i) & 1);
+      const auto out = eval_once(net, pis);
+      EXPECT_EQ(out[0], a > b) << a << " vs " << b;
+      EXPECT_EQ(out[1], a == b) << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,135 @@
+// Stress and corner-case tests for the CDCL solver beyond sat_test's
+// basics: long incremental sessions, mixed clause widths, conflict-heavy
+// instances that exercise clause-database reduction and restarts.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.hpp"
+#include "src/sat/dpll.hpp"
+#include "src/sat/solver.hpp"
+
+namespace kms::sat {
+namespace {
+
+TEST(SatStressTest, ManyIncrementalAssumptionSolves) {
+  // One solver, a thousand assumption queries; answers must match a
+  // fresh solver per query.
+  Rng rng(99);
+  Solver persistent;
+  const int nv = 40;
+  std::vector<Var> vars;
+  for (int i = 0; i < nv; ++i) vars.push_back(persistent.new_var());
+  std::vector<std::vector<Lit>> cnf;
+  for (int c = 0; c < 120; ++c) {
+    std::vector<Lit> clause;
+    const int width = 2 + static_cast<int>(rng.next_below(3));
+    for (int k = 0; k < width; ++k)
+      clause.push_back(mk_lit(vars[rng.next_below(nv)], rng.next_bool()));
+    cnf.push_back(clause);
+    persistent.add_clause(clause);
+  }
+  if (persistent.inconsistent()) GTEST_SKIP() << "root-level UNSAT";
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<Lit> assumptions;
+    const int n_assume = 1 + static_cast<int>(rng.next_below(5));
+    for (int k = 0; k < n_assume; ++k)
+      assumptions.push_back(
+          mk_lit(vars[rng.next_below(nv)], rng.next_bool()));
+    const Result inc = persistent.solve(assumptions);
+    // Reference: fresh solver with the assumptions as unit clauses.
+    Solver fresh;
+    for (int i = 0; i < nv; ++i) fresh.new_var();
+    bool consistent = true;
+    for (const auto& clause : cnf)
+      if (!fresh.add_clause(clause)) consistent = false;
+    for (Lit a : assumptions)
+      if (!fresh.add_clause(a)) consistent = false;
+    const Result ref = consistent ? fresh.solve() : Result::kUnsat;
+    ASSERT_EQ(inc == Result::kSat, ref == Result::kSat) << "round " << round;
+  }
+}
+
+TEST(SatStressTest, MixedWidthRandomAgainstDpll) {
+  for (std::uint64_t seed = 500; seed < 530; ++seed) {
+    Rng rng(seed);
+    const int nv = 14;
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    std::vector<std::vector<Lit>> cnf;
+    bool root_unsat = false;
+    const int nc = 40 + static_cast<int>(rng.next_below(40));
+    for (int c = 0; c < nc; ++c) {
+      std::vector<Lit> clause;
+      const int width = 1 + static_cast<int>(rng.next_below(5));
+      for (int k = 0; k < width; ++k)
+        clause.push_back(mk_lit(vars[rng.next_below(nv)], rng.next_bool()));
+      cnf.push_back(clause);
+      if (!s.add_clause(clause)) root_unsat = true;
+    }
+    const bool expect = dpll_satisfiable(nv, cnf);
+    if (root_unsat) {
+      EXPECT_FALSE(expect) << seed;
+      continue;
+    }
+    EXPECT_EQ(s.solve() == Result::kSat, expect) << "seed " << seed;
+  }
+}
+
+TEST(SatStressTest, ConflictHeavyInstanceTriggersReductionAndRestarts) {
+  // Pigeonhole 8/7: thousands of conflicts; exercises reduce_db, Luby
+  // restarts and clause minimization under load.
+  const int pigeons = 8, holes = 7;
+  Solver s;
+  std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.new_var();
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(mk_lit(p[i][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int i = 0; i < pigeons; ++i)
+      for (int j = i + 1; j < pigeons; ++j)
+        s.add_clause(mk_lit(p[i][h], true), mk_lit(p[j][h], true));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 500u);
+  EXPECT_GT(s.stats().restarts, 0u);
+  EXPECT_GT(s.stats().learned, 100u);
+}
+
+TEST(SatStressTest, WideClauses) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 64; ++i) vars.push_back(s.new_var());
+  // One wide clause plus units forcing all but one literal false.
+  std::vector<Lit> wide;
+  for (Var v : vars) wide.push_back(mk_lit(v));
+  s.add_clause(wide);
+  for (int i = 0; i < 63; ++i) s.add_clause(mk_lit(vars[i], true));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_bool(vars[63]));
+}
+
+TEST(SatStressTest, SolveAfterUnsatAssumptionsIsClean) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(mk_lit(a), mk_lit(b));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.solve({mk_lit(a, true), mk_lit(b, true)}), Result::kUnsat);
+    EXPECT_EQ(s.solve({mk_lit(a)}), Result::kSat);
+  }
+}
+
+TEST(SatStressTest, UnitOnlyInstance) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 32; ++i) vars.push_back(s.new_var());
+  for (int i = 0; i < 32; ++i) s.add_clause(mk_lit(vars[i], i % 2 == 0));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(s.model_bool(vars[i]), i % 2 != 0);
+}
+
+}  // namespace
+}  // namespace kms::sat

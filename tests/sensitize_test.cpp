@@ -1,0 +1,155 @@
+#include "src/timing/sensitize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/timing/path.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+/// Classic false-path circuit: f = (a & s) | (b & !s) style chains where
+/// the long path requires contradictory select values.
+Network false_path_circuit() {
+  Network net("fp");
+  const GateId s = net.add_input("s");
+  // a arrives late so the unique longest path runs a -> e1 -> ... -> x1
+  // and needs both s=1 (side input at e1) and !s=1 (side input at x1).
+  const GateId a = net.add_input("a", 1.0);
+  const GateId ns = net.add_gate(GateKind::kNot, {s}, 1.0, "ns");
+  // Long chain gated by s at the entry and !s at the exit.
+  const GateId e1 = net.add_gate(GateKind::kAnd, {a, s}, 1.0, "e1");
+  const GateId c1 = net.add_gate(GateKind::kNot, {e1}, 1.0, "c1");
+  const GateId c2 = net.add_gate(GateKind::kNot, {c1}, 1.0, "c2");
+  const GateId x1 = net.add_gate(GateKind::kAnd, {c2, ns}, 1.0, "x1");
+  net.add_output("f", x1);
+  return net;
+}
+
+TEST(SensitizeTest, LongPathThroughContradictionIsNotSensitizable) {
+  Network net = false_path_circuit();
+  Sensitizer sens(net, SensitizationMode::kStatic);
+  PathEnumerator en(net);
+  auto p = en.next();  // longest: a -> e1 -> c1 -> c2 -> x1, needs s & !s
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->length, 5.0);
+  EXPECT_FALSE(sens.check(*p).has_value());
+}
+
+TEST(SensitizeTest, ComputedDelayBelowTopological) {
+  Network net = false_path_circuit();
+  const DelayReport r = computed_delay(net, SensitizationMode::kStatic);
+  EXPECT_TRUE(r.exact);
+  EXPECT_LT(r.delay, topological_delay(net));
+}
+
+TEST(SensitizeTest, SensitizableChainYieldsCube) {
+  Network net("c");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g1 = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+  const GateId g2 = net.add_gate(GateKind::kNot, {g1}, 1.0);
+  net.add_output("f", g2);
+  Sensitizer sens(net, SensitizationMode::kStatic);
+  PathEnumerator en(net);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  const auto cube = sens.check(*p);
+  ASSERT_TRUE(cube.has_value());
+  // The path starts at a or b; the side input must be 1 in the cube.
+  const bool a_first = p->source == a;
+  EXPECT_TRUE((*cube)[a_first ? 1 : 0]);
+}
+
+TEST(SensitizeTest, StaticImpliesViable) {
+  // Every statically sensitizable path must be viable (Section V.1).
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.gates = 25;
+    opts.allow_xor = false;
+    Network net = random_network(opts);
+    Sensitizer stat(net, SensitizationMode::kStatic);
+    Sensitizer viab(net, SensitizationMode::kViability);
+    PathEnumerator en(net);
+    std::size_t examined = 0;
+    while (auto p = en.next()) {
+      if (++examined > 200) break;
+      if (stat.check(*p).has_value()) {
+        EXPECT_TRUE(viab.check(*p).has_value())
+            << "seed " << seed << " path " << format_path(net, *p);
+      }
+    }
+  }
+}
+
+TEST(SensitizeTest, ViabilityComputedDelayAtLeastStatic) {
+  for (std::uint64_t seed = 50; seed < 56; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.gates = 30;
+    opts.allow_xor = false;
+    Network net = random_network(opts);
+    const double ds = computed_delay(net, SensitizationMode::kStatic).delay;
+    const double dv =
+        computed_delay(net, SensitizationMode::kViability).delay;
+    EXPECT_GE(dv + 1e-9, ds) << "seed " << seed;
+    EXPECT_LE(dv, topological_delay(net) + 1e-9);
+  }
+}
+
+TEST(SensitizeTest, XorPathsAlwaysPropagate) {
+  Network net("x");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId x = net.add_gate(GateKind::kXor, {a, b}, 1.0);
+  const GateId y = net.add_gate(GateKind::kXor, {x, a}, 1.0);
+  net.add_output("f", y);
+  Sensitizer sens(net, SensitizationMode::kStatic);
+  PathEnumerator en(net);
+  std::size_t sensitizable = 0, total = 0;
+  while (auto p = en.next()) {
+    ++total;
+    if (sens.check(*p).has_value()) ++sensitizable;
+  }
+  EXPECT_EQ(sensitizable, total);  // XOR never blocks an event
+}
+
+TEST(SensitizeTest, WitnessCubeSensitizesSideInputs) {
+  // For a statically sensitized path, simulating the witness cube must
+  // leave every side input at its noncontrolling value.
+  RandomNetworkOptions opts;
+  opts.seed = 77;
+  opts.gates = 30;
+  opts.allow_xor = false;
+  Network net = random_network(opts);
+  Sensitizer sens(net, SensitizationMode::kStatic);
+  PathEnumerator en(net);
+  std::size_t checked = 0;
+  while (auto p = en.next()) {
+    if (checked > 50) break;
+    const auto cube = sens.check(*p);
+    if (!cube) continue;
+    ++checked;
+    Simulator sim(net);
+    std::vector<std::uint64_t> words;
+    for (bool v : *cube) words.push_back(v ? ~0ull : 0);
+    sim.run(words);
+    for (std::size_t i = 0; i < p->gates.size(); ++i) {
+      const Gate& gt = net.gate(p->gates[i]);
+      if (!has_controlling_value(gt.kind)) continue;
+      for (ConnId c : gt.fanins) {
+        if (c == p->conns[i]) continue;
+        const bool v = sim.gate_word(net.conn(c).from) & 1;
+        EXPECT_EQ(v, noncontrolling_value(gt.kind));
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,103 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+
+namespace kms {
+namespace {
+
+TEST(SimTest, EvalOnceTruthTable) {
+  Network net("t");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kNand, {a, b}, 1.0);
+  net.add_output("f", g);
+  EXPECT_TRUE(eval_once(net, {false, false})[0]);
+  EXPECT_TRUE(eval_once(net, {true, false})[0]);
+  EXPECT_FALSE(eval_once(net, {true, true})[0]);
+}
+
+TEST(SimTest, WordParallelMatchesBitwise) {
+  Network net("t");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId c = net.add_input("c");
+  const GateId g1 = net.add_gate(GateKind::kXor, {a, b}, 1.0);
+  const GateId g2 = net.add_gate(GateKind::kMux, {c, g1, a}, 1.0);
+  net.add_output("f", g2);
+  Simulator sim(net);
+  // All 8 assignments in one word.
+  std::vector<std::uint64_t> words(3);
+  for (int v = 0; v < 8; ++v)
+    for (int i = 0; i < 3; ++i)
+      if ((v >> i) & 1) words[static_cast<std::size_t>(i)] |= 1ull << v;
+  sim.run(words);
+  for (int v = 0; v < 8; ++v) {
+    const bool av = v & 1, bv = v & 2, cv = v & 4;
+    const bool expected = cv ? (av != bv) : av;
+    EXPECT_EQ((sim.output_word(0) >> v) & 1, expected ? 1u : 0u) << v;
+  }
+}
+
+TEST(SimTest, RippleAdderAddsCorrectly) {
+  const std::size_t bits = 4;
+  Network net = ripple_carry_adder(bits);
+  for (unsigned a = 0; a < 16; a += 3) {
+    for (unsigned b = 0; b < 16; b += 5) {
+      for (unsigned cin = 0; cin < 2; ++cin) {
+        std::vector<bool> pis;
+        for (std::size_t i = 0; i < bits; ++i) pis.push_back((a >> i) & 1);
+        for (std::size_t i = 0; i < bits; ++i) pis.push_back((b >> i) & 1);
+        pis.push_back(cin);
+        const auto out = eval_once(net, pis);
+        const unsigned sum = a + b + cin;
+        for (std::size_t i = 0; i < bits; ++i)
+          EXPECT_EQ(out[i], ((sum >> i) & 1) != 0);
+        EXPECT_EQ(out[bits], ((sum >> bits) & 1) != 0);
+      }
+    }
+  }
+}
+
+TEST(SimTest, CarrySkipEqualsRipple) {
+  for (std::size_t block : {1u, 2u, 3u, 4u}) {
+    Network csa = carry_skip_adder(6, block);
+    Network rca = ripple_carry_adder(6);
+    EXPECT_TRUE(exhaustive_equiv(csa, rca).equivalent) << "block " << block;
+  }
+}
+
+TEST(SimTest, ExhaustiveEquivFindsCounterexample) {
+  Network a("a"), b("b");
+  const GateId xa = a.add_input("x");
+  const GateId ya = a.add_input("y");
+  a.add_output("f", a.add_gate(GateKind::kAnd, {xa, ya}, 1.0));
+  const GateId xb = b.add_input("x");
+  const GateId yb = b.add_input("y");
+  b.add_output("f", b.add_gate(GateKind::kOr, {xb, yb}, 1.0));
+  const auto r = exhaustive_equiv(a, b);
+  ASSERT_FALSE(r.equivalent);
+  // The counterexample must actually distinguish the two.
+  const auto va = eval_once(a, r.counterexample);
+  const auto vb = eval_once(b, r.counterexample);
+  EXPECT_NE(va[r.output_index], vb[r.output_index]);
+}
+
+TEST(SimTest, RandomEquivAgreesOnEqualCircuits) {
+  Network a = ripple_carry_adder(5);
+  Network b = carry_skip_adder(5, 2);
+  Rng rng(3);
+  EXPECT_TRUE(random_equiv(a, b, rng, 16).equivalent);
+}
+
+TEST(SimTest, DecomposedAdderStillAdds) {
+  Network net = carry_skip_adder(4, 2);
+  Network orig = net;
+  decompose_to_simple(net);
+  EXPECT_TRUE(exhaustive_equiv(orig, net).equivalent);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,91 @@
+#include "src/timing/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/sensitize.hpp"
+
+namespace kms {
+namespace {
+
+TEST(StaTest, ChainArrival) {
+  Network net("c");
+  const GateId a = net.add_input("a", 1.0);
+  const GateId g1 = net.add_gate(GateKind::kNot, {a}, 2.0);
+  net.conn(net.gate(g1).fanins[0]).delay = 0.5;
+  const GateId g2 = net.add_gate(GateKind::kNot, {g1}, 3.0);
+  net.add_output("f", g2);
+  const auto arrival = compute_arrival(net);
+  EXPECT_DOUBLE_EQ(arrival[a.value()], 1.0);
+  EXPECT_DOUBLE_EQ(arrival[g1.value()], 3.5);
+  EXPECT_DOUBLE_EQ(arrival[g2.value()], 6.5);
+  EXPECT_DOUBLE_EQ(topological_delay(net), 6.5);
+}
+
+TEST(StaTest, MaxOverFanins) {
+  Network net("m");
+  const GateId a = net.add_input("a", 0.0);
+  const GateId b = net.add_input("b", 10.0);
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+  net.add_output("f", g);
+  EXPECT_DOUBLE_EQ(topological_delay(net), 11.0);
+}
+
+TEST(StaTest, ConstantsDoNotConstrain) {
+  Network net("k");
+  const GateId a = net.add_input("a", 2.0);
+  const GateId g =
+      net.add_gate(GateKind::kAnd, {a, net.const_gate(true)}, 1.0);
+  net.add_output("f", g);
+  EXPECT_DOUBLE_EQ(topological_delay(net), 3.0);
+}
+
+TEST(StaTest, RequiredAndSlack) {
+  Network net("s");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g1 = net.add_gate(GateKind::kNot, {a}, 1.0);
+  const GateId g2 = net.add_gate(GateKind::kAnd, {g1, b}, 1.0);
+  net.add_output("f", g2);
+  const TimingTables t = compute_timing(net);
+  EXPECT_DOUBLE_EQ(t.delay, 2.0);
+  // The path through g1 is critical: slack 0 everywhere along it.
+  EXPECT_DOUBLE_EQ(t.slack[a.value()], 0.0);
+  EXPECT_DOUBLE_EQ(t.slack[g1.value()], 0.0);
+  EXPECT_DOUBLE_EQ(t.slack[g2.value()], 0.0);
+  // Input b has one unit of slack.
+  EXPECT_DOUBLE_EQ(t.slack[b.value()], 1.0);
+}
+
+TEST(StaTest, CarrySkipFasterThanRipple) {
+  // The whole point of the skip chain (unit-delay model): the *computed*
+  // (sensitizable) delay drops. The topological delay does NOT — the
+  // ripple chain is still present as a false path, which is exactly the
+  // phenomenon the paper is about (see AddersTest for that direction).
+  Network rca = ripple_carry_adder(8);
+  Network csa = carry_skip_adder(8, 2);
+  decompose_to_simple(rca);
+  decompose_to_simple(csa);
+  apply_unit_delays(rca);
+  apply_unit_delays(csa);
+  const double rca_true =
+      computed_delay(rca, SensitizationMode::kStatic).delay;
+  const double csa_true =
+      computed_delay(csa, SensitizationMode::kStatic).delay;
+  EXPECT_LT(csa_true, rca_true);
+}
+
+TEST(StaTest, UnitDelayModelCountsGates) {
+  Network net("u");
+  const GateId a = net.add_input("a");
+  const GateId g1 = net.add_gate(GateKind::kNot, {a}, 7.0);
+  const GateId g2 = net.add_gate(GateKind::kAnd, {g1, a}, 7.0);
+  net.conn(net.gate(g2).fanins[0]).delay = 5.0;
+  net.add_output("f", g2);
+  apply_unit_delays(net);
+  EXPECT_DOUBLE_EQ(topological_delay(net), 2.0);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,45 @@
+#include "src/base/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kms {
+namespace {
+
+TEST(StringsTest, SplitWsBasic) {
+  const auto t = split_ws("  a bb   ccc ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "ccc");
+}
+
+TEST(StringsTest, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t  ").empty());
+}
+
+TEST(StringsTest, SplitWsTabsAndNewlines) {
+  const auto t = split_ws("x\ty\nz");
+  ASSERT_EQ(t.size(), 3u);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".name", ".names"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace kms

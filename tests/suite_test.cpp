@@ -1,0 +1,51 @@
+#include "src/gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/cnf/encoder.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+namespace {
+
+TEST(SuiteTest, NineCircuitsWithTableOneShapes) {
+  const auto& suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite_spec("s5xp1").inputs, 7u);
+  EXPECT_EQ(suite_spec("s5xp1").outputs, 10u);
+  EXPECT_EQ(suite_spec("sduke2").inputs, 22u);
+  EXPECT_EQ(suite_spec("smisex2").inputs, 25u);
+  EXPECT_THROW(suite_spec("nope"), std::out_of_range);
+}
+
+TEST(SuiteTest, BuildsAreDeterministic) {
+  const SuiteSpec& spec = suite_spec("smisex1");
+  Network a = build_suite_circuit(spec);
+  Network b = build_suite_circuit(spec);
+  EXPECT_EQ(a.count_gates(), b.count_gates());
+  EXPECT_EQ(a.count_live_conns(), b.count_live_conns());
+}
+
+TEST(SuiteTest, InterfacesMatchSpecs) {
+  for (const SuiteSpec& spec : benchmark_suite()) {
+    Network net = build_suite_circuit(spec, /*delay_optimized=*/false);
+    EXPECT_EQ(net.inputs().size(), spec.inputs) << spec.name;
+    EXPECT_EQ(net.outputs().size(), spec.outputs) << spec.name;
+    EXPECT_EQ(net.check(), "") << spec.name;
+    EXPECT_GT(net.count_gates(), 10u) << spec.name;
+  }
+}
+
+TEST(SuiteTest, DelayOptimizationPreservesFunction) {
+  for (const SuiteSpec& spec : benchmark_suite()) {
+    // Skip the widest circuits to keep the test fast; they are covered
+    // by the benches.
+    if (spec.inputs > 12) continue;
+    Network base = build_suite_circuit(spec, /*delay_optimized=*/false);
+    Network fast = build_suite_circuit(spec, /*delay_optimized=*/true);
+    EXPECT_TRUE(sat_equivalent(base, fast)) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,71 @@
+#include "src/atpg/testgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/atpg/fault_sim.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+
+namespace kms {
+namespace {
+
+TEST(TestGenTest, FullCoverageOnRippleAdder) {
+  Network net = ripple_carry_adder(4);
+  decompose_to_simple(net);
+  const TestSet set = generate_test_set(net);
+  EXPECT_EQ(set.redundant_faults, 0u);
+  EXPECT_DOUBLE_EQ(set.coverage, 1.0);
+  EXPECT_FALSE(set.vectors.empty());
+  // Verify independently with the fault simulator.
+  EXPECT_DOUBLE_EQ(
+      fault_coverage(net, collapsed_faults(net), set.vectors), 1.0);
+}
+
+TEST(TestGenTest, ReportsRedundantFaults) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  const TestSet set = generate_test_set(net);
+  EXPECT_GE(set.redundant_faults, 2u);  // 2 per block before removal
+  EXPECT_DOUBLE_EQ(set.coverage, 1.0);  // of the *testable* ones
+}
+
+TEST(TestGenTest, CompactionNeverLosesCoverage) {
+  for (std::uint64_t seed = 400; seed < 406; ++seed) {
+    RandomNetworkOptions opts;
+    opts.seed = seed;
+    opts.gates = 30;
+    Network net = random_network(opts);
+    TestGenOptions with, without;
+    with.compact = true;
+    without.compact = false;
+    const TestSet a = generate_test_set(net, with);
+    const TestSet b = generate_test_set(net, without);
+    EXPECT_DOUBLE_EQ(a.coverage, 1.0) << seed;
+    EXPECT_DOUBLE_EQ(b.coverage, 1.0) << seed;
+    EXPECT_LE(a.vectors.size(), b.vectors.size()) << seed;
+  }
+}
+
+TEST(TestGenTest, KmsResultNeedsNoSpeedtestJustThisSet) {
+  // The end-to-end story: KMS result + complete stuck-at test set.
+  Network net = carry_skip_adder(6, 2);
+  decompose_to_simple(net);
+  apply_unit_delays(net);
+  kms_make_irredundant(net, {});
+  const TestSet set = generate_test_set(net);
+  EXPECT_EQ(set.redundant_faults, 0u);
+  EXPECT_DOUBLE_EQ(set.coverage, 1.0);
+}
+
+TEST(TestGenTest, DeterministicForSeed) {
+  Network net = ripple_carry_adder(3);
+  decompose_to_simple(net);
+  const TestSet a = generate_test_set(net);
+  const TestSet b = generate_test_set(net);
+  EXPECT_EQ(a.vectors, b.vectors);
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,53 @@
+#include "src/netlist/write_dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/adders.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/path.hpp"
+
+namespace kms {
+namespace {
+
+TEST(WriteDotTest, ContainsEveryLiveGateAndEdge) {
+  Network net = carry_skip_adder(2, 2);
+  const std::string dot = write_dot_string(net);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  std::size_t nodes = 0, edges = 0;
+  for (std::size_t pos = 0; (pos = dot.find("shape=", pos)) != std::string::npos;
+       ++pos)
+    ++nodes;
+  for (std::size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       ++pos)
+    ++edges;
+  EXPECT_EQ(nodes, net.topo_order().size());
+  EXPECT_EQ(edges, net.count_live_conns());
+}
+
+TEST(WriteDotTest, HighlightMarksPathEdges) {
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  PathEnumerator en(net);
+  auto p = en.next();
+  ASSERT_TRUE(p.has_value());
+  DotOptions opts;
+  opts.highlight = p->conns;
+  const std::string dot = write_dot_string(net, opts);
+  std::size_t red = 0;
+  for (std::size_t pos = 0;
+       (pos = dot.find("color=red", pos)) != std::string::npos; ++pos)
+    ++red;
+  EXPECT_EQ(red, p->conns.size());
+}
+
+TEST(WriteDotTest, ArrivalAnnotationsAppear) {
+  AdderOptions opts;
+  opts.cin_arrival = 5.0;
+  Network net = carry_skip_adder(2, 2, opts);
+  const std::string dot = write_dot_string(net);
+  EXPECT_NE(dot.find("@5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kms
