@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atpg.dir/bench_atpg.cpp.o"
+  "CMakeFiles/bench_atpg.dir/bench_atpg.cpp.o.d"
+  "bench_atpg"
+  "bench_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

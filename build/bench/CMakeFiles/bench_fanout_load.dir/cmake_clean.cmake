@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fanout_load.dir/bench_fanout_load.cpp.o"
+  "CMakeFiles/bench_fanout_load.dir/bench_fanout_load.cpp.o.d"
+  "bench_fanout_load"
+  "bench_fanout_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanout_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_vs_kms.dir/bench_naive_vs_kms.cpp.o"
+  "CMakeFiles/bench_naive_vs_kms.dir/bench_naive_vs_kms.cpp.o.d"
+  "bench_naive_vs_kms"
+  "bench_naive_vs_kms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_vs_kms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

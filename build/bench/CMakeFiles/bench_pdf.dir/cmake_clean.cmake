@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdf.dir/bench_pdf.cpp.o"
+  "CMakeFiles/bench_pdf.dir/bench_pdf.cpp.o.d"
+  "bench_pdf"
+  "bench_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_removal_order.dir/bench_removal_order.cpp.o"
+  "CMakeFiles/bench_removal_order.dir/bench_removal_order.cpp.o.d"
+  "bench_removal_order"
+  "bench_removal_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_removal_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_vs_viab.dir/bench_sens_vs_viab.cpp.o"
+  "CMakeFiles/bench_sens_vs_viab.dir/bench_sens_vs_viab.cpp.o.d"
+  "bench_sens_vs_viab"
+  "bench_sens_vs_viab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_vs_viab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_mcnc.cpp" "bench/CMakeFiles/bench_table1_mcnc.dir/bench_table1_mcnc.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_mcnc.dir/bench_table1_mcnc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/kms_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pla/CMakeFiles/kms_pla.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/kms_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/kms_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/kms_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/kms_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/kms_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/kms_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/kms_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kms_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

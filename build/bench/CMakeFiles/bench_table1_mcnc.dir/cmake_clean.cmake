@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mcnc.dir/bench_table1_mcnc.cpp.o"
+  "CMakeFiles/bench_table1_mcnc.dir/bench_table1_mcnc.cpp.o.d"
+  "bench_table1_mcnc"
+  "bench_table1_mcnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mcnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carry_skip_redesign.dir/carry_skip_redesign.cpp.o"
+  "CMakeFiles/carry_skip_redesign.dir/carry_skip_redesign.cpp.o.d"
+  "carry_skip_redesign"
+  "carry_skip_redesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carry_skip_redesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

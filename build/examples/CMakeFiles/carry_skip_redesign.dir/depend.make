@@ -1,0 +1,2 @@
+# Empty dependencies file for carry_skip_redesign.
+# This may be replaced when dependencies are built.

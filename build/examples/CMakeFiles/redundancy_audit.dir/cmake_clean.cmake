@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_audit.dir/redundancy_audit.cpp.o"
+  "CMakeFiles/redundancy_audit.dir/redundancy_audit.cpp.o.d"
+  "redundancy_audit"
+  "redundancy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_accumulator.dir/sequential_accumulator.cpp.o"
+  "CMakeFiles/sequential_accumulator.dir/sequential_accumulator.cpp.o.d"
+  "sequential_accumulator"
+  "sequential_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_explorer.dir/timing_explorer.cpp.o"
+  "CMakeFiles/timing_explorer.dir/timing_explorer.cpp.o.d"
+  "timing_explorer"
+  "timing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

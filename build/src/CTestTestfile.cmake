@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("netlist")
+subdirs("sim")
+subdirs("sat")
+subdirs("cnf")
+subdirs("timing")
+subdirs("atpg")
+subdirs("core")
+subdirs("pla")
+subdirs("gen")
+subdirs("opt")
+subdirs("seq")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/atpg.cpp" "src/atpg/CMakeFiles/kms_atpg.dir/atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/kms_atpg.dir/atpg.cpp.o.d"
+  "/root/repo/src/atpg/fault.cpp" "src/atpg/CMakeFiles/kms_atpg.dir/fault.cpp.o" "gcc" "src/atpg/CMakeFiles/kms_atpg.dir/fault.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "src/atpg/CMakeFiles/kms_atpg.dir/fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/kms_atpg.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/inject.cpp" "src/atpg/CMakeFiles/kms_atpg.dir/inject.cpp.o" "gcc" "src/atpg/CMakeFiles/kms_atpg.dir/inject.cpp.o.d"
+  "/root/repo/src/atpg/redundancy.cpp" "src/atpg/CMakeFiles/kms_atpg.dir/redundancy.cpp.o" "gcc" "src/atpg/CMakeFiles/kms_atpg.dir/redundancy.cpp.o.d"
+  "/root/repo/src/atpg/testgen.cpp" "src/atpg/CMakeFiles/kms_atpg.dir/testgen.cpp.o" "gcc" "src/atpg/CMakeFiles/kms_atpg.dir/testgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/kms_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/kms_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/kms_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kms_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/kms_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/kms_atpg.dir/fault.cpp.o"
+  "CMakeFiles/kms_atpg.dir/fault.cpp.o.d"
+  "CMakeFiles/kms_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/kms_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/kms_atpg.dir/inject.cpp.o"
+  "CMakeFiles/kms_atpg.dir/inject.cpp.o.d"
+  "CMakeFiles/kms_atpg.dir/redundancy.cpp.o"
+  "CMakeFiles/kms_atpg.dir/redundancy.cpp.o.d"
+  "CMakeFiles/kms_atpg.dir/testgen.cpp.o"
+  "CMakeFiles/kms_atpg.dir/testgen.cpp.o.d"
+  "libkms_atpg.a"
+  "libkms_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_base.dir/log.cpp.o"
+  "CMakeFiles/kms_base.dir/log.cpp.o.d"
+  "CMakeFiles/kms_base.dir/rng.cpp.o"
+  "CMakeFiles/kms_base.dir/rng.cpp.o.d"
+  "CMakeFiles/kms_base.dir/strings.cpp.o"
+  "CMakeFiles/kms_base.dir/strings.cpp.o.d"
+  "libkms_base.a"
+  "libkms_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

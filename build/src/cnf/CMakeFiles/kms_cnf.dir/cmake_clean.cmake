@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_cnf.dir/encoder.cpp.o"
+  "CMakeFiles/kms_cnf.dir/encoder.cpp.o.d"
+  "libkms_cnf.a"
+  "libkms_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

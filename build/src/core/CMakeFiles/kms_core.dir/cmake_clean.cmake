@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_core.dir/kms.cpp.o"
+  "CMakeFiles/kms_core.dir/kms.cpp.o.d"
+  "libkms_core.a"
+  "libkms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_gen.dir/adders.cpp.o"
+  "CMakeFiles/kms_gen.dir/adders.cpp.o.d"
+  "CMakeFiles/kms_gen.dir/random_logic.cpp.o"
+  "CMakeFiles/kms_gen.dir/random_logic.cpp.o.d"
+  "CMakeFiles/kms_gen.dir/suite.cpp.o"
+  "CMakeFiles/kms_gen.dir/suite.cpp.o.d"
+  "libkms_gen.a"
+  "libkms_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/blif.cpp" "src/netlist/CMakeFiles/kms_netlist.dir/blif.cpp.o" "gcc" "src/netlist/CMakeFiles/kms_netlist.dir/blif.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/kms_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/kms_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/network.cpp" "src/netlist/CMakeFiles/kms_netlist.dir/network.cpp.o" "gcc" "src/netlist/CMakeFiles/kms_netlist.dir/network.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/netlist/CMakeFiles/kms_netlist.dir/transform.cpp.o" "gcc" "src/netlist/CMakeFiles/kms_netlist.dir/transform.cpp.o.d"
+  "/root/repo/src/netlist/write_dot.cpp" "src/netlist/CMakeFiles/kms_netlist.dir/write_dot.cpp.o" "gcc" "src/netlist/CMakeFiles/kms_netlist.dir/write_dot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kms_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

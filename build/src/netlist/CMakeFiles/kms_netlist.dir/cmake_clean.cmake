@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_netlist.dir/blif.cpp.o"
+  "CMakeFiles/kms_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/kms_netlist.dir/gate.cpp.o"
+  "CMakeFiles/kms_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/kms_netlist.dir/network.cpp.o"
+  "CMakeFiles/kms_netlist.dir/network.cpp.o.d"
+  "CMakeFiles/kms_netlist.dir/transform.cpp.o"
+  "CMakeFiles/kms_netlist.dir/transform.cpp.o.d"
+  "CMakeFiles/kms_netlist.dir/write_dot.cpp.o"
+  "CMakeFiles/kms_netlist.dir/write_dot.cpp.o.d"
+  "libkms_netlist.a"
+  "libkms_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/opt.cpp" "src/opt/CMakeFiles/kms_opt.dir/opt.cpp.o" "gcc" "src/opt/CMakeFiles/kms_opt.dir/opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/kms_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/kms_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/kms_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/kms_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kms_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_opt.dir/opt.cpp.o"
+  "CMakeFiles/kms_opt.dir/opt.cpp.o.d"
+  "libkms_opt.a"
+  "libkms_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

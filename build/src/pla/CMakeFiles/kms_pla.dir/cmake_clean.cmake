@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_pla.dir/pla.cpp.o"
+  "CMakeFiles/kms_pla.dir/pla.cpp.o.d"
+  "libkms_pla.a"
+  "libkms_pla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_sat.dir/dpll.cpp.o"
+  "CMakeFiles/kms_sat.dir/dpll.cpp.o.d"
+  "CMakeFiles/kms_sat.dir/solver.cpp.o"
+  "CMakeFiles/kms_sat.dir/solver.cpp.o.d"
+  "libkms_sat.a"
+  "libkms_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

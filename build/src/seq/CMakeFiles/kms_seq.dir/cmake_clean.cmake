@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_seq.dir/seq_network.cpp.o"
+  "CMakeFiles/kms_seq.dir/seq_network.cpp.o.d"
+  "libkms_seq.a"
+  "libkms_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_sim.dir/simulator.cpp.o"
+  "CMakeFiles/kms_sim.dir/simulator.cpp.o.d"
+  "libkms_sim.a"
+  "libkms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_timing.dir/load_model.cpp.o"
+  "CMakeFiles/kms_timing.dir/load_model.cpp.o.d"
+  "CMakeFiles/kms_timing.dir/path.cpp.o"
+  "CMakeFiles/kms_timing.dir/path.cpp.o.d"
+  "CMakeFiles/kms_timing.dir/pdf.cpp.o"
+  "CMakeFiles/kms_timing.dir/pdf.cpp.o.d"
+  "CMakeFiles/kms_timing.dir/sensitize.cpp.o"
+  "CMakeFiles/kms_timing.dir/sensitize.cpp.o.d"
+  "CMakeFiles/kms_timing.dir/sta.cpp.o"
+  "CMakeFiles/kms_timing.dir/sta.cpp.o.d"
+  "libkms_timing.a"
+  "libkms_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkms_timing.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adders_test.dir/adders_test.cpp.o"
+  "CMakeFiles/adders_test.dir/adders_test.cpp.o.d"
+  "adders_test"
+  "adders_test.pdb"
+  "adders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapse_soundness_test.dir/collapse_soundness_test.cpp.o"
+  "CMakeFiles/collapse_soundness_test.dir/collapse_soundness_test.cpp.o.d"
+  "collapse_soundness_test"
+  "collapse_soundness_test.pdb"
+  "collapse_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapse_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmscli_test.dir/kmscli_test.cpp.o"
+  "CMakeFiles/kmscli_test.dir/kmscli_test.cpp.o.d"
+  "kmscli_test"
+  "kmscli_test.pdb"
+  "kmscli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmscli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdf_test.dir/pdf_test.cpp.o"
+  "CMakeFiles/pdf_test.dir/pdf_test.cpp.o.d"
+  "pdf_test"
+  "pdf_test.pdb"
+  "pdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_logic_test.dir/random_logic_test.cpp.o"
+  "CMakeFiles/random_logic_test.dir/random_logic_test.cpp.o.d"
+  "random_logic_test"
+  "random_logic_test.pdb"
+  "random_logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

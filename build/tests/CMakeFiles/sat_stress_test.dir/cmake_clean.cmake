@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_stress_test.dir/sat_stress_test.cpp.o"
+  "CMakeFiles/sat_stress_test.dir/sat_stress_test.cpp.o.d"
+  "sat_stress_test"
+  "sat_stress_test.pdb"
+  "sat_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitize_test.dir/sensitize_test.cpp.o"
+  "CMakeFiles/sensitize_test.dir/sensitize_test.cpp.o.d"
+  "sensitize_test"
+  "sensitize_test.pdb"
+  "sensitize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_dot_test.dir/write_dot_test.cpp.o"
+  "CMakeFiles/write_dot_test.dir/write_dot_test.cpp.o.d"
+  "write_dot_test"
+  "write_dot_test.pdb"
+  "write_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmscli.dir/kmscli.cpp.o"
+  "CMakeFiles/kmscli.dir/kmscli.cpp.o.d"
+  "kmscli"
+  "kmscli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmscli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
