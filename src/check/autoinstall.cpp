@@ -1,0 +1,13 @@
+// Compiled directly into test and tool executables (not into the static
+// library, where an unreferenced object would be dropped by the linker)
+// when KMS_CHECK_INVARIANTS is ON, so every binary in the build tree
+// self-checks its Network surgery without code changes.
+#include "src/check/hooks.hpp"
+
+namespace kms {
+namespace {
+
+const bool kInstalled = (install_invariant_self_checks(), true);
+
+}  // namespace
+}  // namespace kms

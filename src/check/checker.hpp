@@ -1,0 +1,62 @@
+// Rule-based netlist invariant checker.
+//
+// The KMS loop performs destructive graph surgery (duplication, constant
+// propagation, redundancy removal) on a tombstoned Network; one dangling
+// ConnId or cyclic reroute silently corrupts every downstream result.
+// NetworkChecker validates the full set of structural invariants the rest
+// of the library assumes, and reports violations as Diagnostics anchored
+// to the offending gate/connection — at the operation where they happen,
+// not three transforms later.
+//
+// Unlike Network::check() (a first-failure assertion helper), the checker
+// collects *all* findings, never asserts, and is safe to run on corrupt
+// networks: every id is bounds-checked before use, and acyclicity uses an
+// iterative SCC pass instead of topo_order()'s assert.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/check/diagnostics.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+
+struct CheckOptions {
+  /// Run warning-severity rules (NL011/NL013/NL014/NL015). Self-check
+  /// hooks and KMS checkpoints disable these: mid-pipeline networks
+  /// legitimately hold orphan cones and idle constants until sweep().
+  bool warnings = true;
+
+  /// Stop after this many findings (corrupt networks can otherwise emit
+  /// one diagnostic per gate).
+  std::size_t max_diagnostics = 100;
+};
+
+class NetworkChecker {
+ public:
+  explicit NetworkChecker(CheckOptions opts = {}) : opts_(opts) {}
+
+  /// Validate `net` against every enabled rule. Never throws, never
+  /// asserts, never dereferences an out-of-range id.
+  Diagnostics run(const Network& net) const;
+
+ private:
+  CheckOptions opts_;
+};
+
+/// Thrown by enforce_invariants (and thus by self-check hooks and KMS
+/// checkpoints) when error-severity rules fire. The message embeds the
+/// full diagnostic text.
+struct CheckFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Run the error-severity rules on `net`; throw CheckFailure naming
+/// `where` (the operation or phase just completed) if any fire.
+void enforce_invariants(const Network& net, const char* where);
+
+/// "gate 12 'carry' (and)" — label used in diagnostic messages.
+std::string gate_label(const Network& net, GateId g);
+
+}  // namespace kms

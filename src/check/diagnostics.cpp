@@ -1,0 +1,147 @@
+#include "src/check/diagnostics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace kms {
+
+std::string_view severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {"NL001", Severity::kError, "acyclicity",
+       "the live gate/connection graph must contain no cycles"},
+      {"NL002", Severity::kError, "endpoint-liveness",
+       "both endpoints of a live connection must be live, in-range gates"},
+      {"NL003", Severity::kError, "fanout-reciprocity",
+       "a live connection must appear in its source gate's fanout list"},
+      {"NL004", Severity::kError, "fanin-reciprocity",
+       "a live connection must appear in its sink gate's fanin list"},
+      {"NL005", Severity::kError, "stale-fanin",
+       "every fanin list entry must be a live, in-range connection whose "
+       "sink is this gate"},
+      {"NL006", Severity::kError, "stale-fanout",
+       "every fanout list entry must be a live, in-range connection whose "
+       "source is this gate"},
+      {"NL007", Severity::kError, "duplicate-pin",
+       "a connection id must appear at most once in a fanin/fanout list"},
+      {"NL008", Severity::kError, "pin-shape",
+       "the fanin count must match the gate kind (sources 0, BUF/NOT/"
+       "output 1, MUX 3, other logic >= 1)"},
+      {"NL009", Severity::kError, "output-marker",
+       "outputs() must list exactly the live kOutput gates, once each, "
+       "and markers must drive nothing"},
+      {"NL010", Severity::kError, "input-marker",
+       "inputs() must list exactly the live kInput gates, once each"},
+      {"NL011", Severity::kWarning, "constant-uniqueness",
+       "at most one live constant gate per polarity (const_gate contract)"},
+      {"NL012", Severity::kError, "negative-delay",
+       "gate and connection delays must be nonnegative"},
+      {"NL013", Severity::kWarning, "orphan-cone",
+       "a live logic gate should reach some primary output (dead cones "
+       "survive only until sweep)"},
+      {"NL014", Severity::kWarning, "name-collision",
+       "interface (PI/PO) names should be unique, or BLIF round-trips "
+       "rename them"},
+      {"NL015", Severity::kWarning, "unused-input",
+       "a primary input should drive at least one live connection"},
+      {"NL900", Severity::kError, "parse",
+       "the input file must parse as BLIF (emitted by kmslint only)"},
+  };
+  return rules;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& r : all_rules())
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+void Diagnostics::add(Diagnostic d) {
+  if (d.severity == Severity::kError) {
+    ++errors_;
+  } else {
+    ++warnings_;
+  }
+  diags_.push_back(std::move(d));
+}
+
+void Diagnostics::print_text(std::ostream& out,
+                             const std::string& prefix) const {
+  for (const Diagnostic& d : diags_) {
+    out << prefix;
+    if (d.line > 0) out << "line " << d.line << ": ";
+    out << severity_name(d.severity) << " " << d.rule << ": " << d.message
+        << "\n";
+  }
+  if (truncated_)
+    out << prefix << "note: diagnostic limit reached, output truncated\n";
+}
+
+std::string Diagnostics::to_text(const std::string& prefix) const {
+  std::ostringstream out;
+  print_text(out, prefix);
+  return out.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Diagnostics::print_json(std::ostream& out) const {
+  out << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"rule\":\"" << json_escape(d.rule) << "\",\"severity\":\""
+        << severity_name(d.severity) << "\",\"message\":\""
+        << json_escape(d.message) << "\"";
+    if (d.gate.is_valid()) out << ",\"gate\":" << d.gate.value();
+    if (d.conn.is_valid()) out << ",\"conn\":" << d.conn.value();
+    if (d.line > 0) out << ",\"line\":" << d.line;
+    out << "}";
+  }
+  out << "],\"errors\":" << errors_ << ",\"warnings\":" << warnings_
+      << ",\"truncated\":" << (truncated_ ? "true" : "false") << "}";
+}
+
+std::string Diagnostics::to_json() const {
+  std::ostringstream out;
+  print_json(out);
+  return out.str();
+}
+
+}  // namespace kms

@@ -1,0 +1,43 @@
+#include "src/check/hooks.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "src/check/checker.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms {
+namespace {
+
+void self_check_trampoline(const Network& net, const char* op) {
+  enforce_invariants(net, op);
+}
+
+}  // namespace
+
+bool invariant_checks_enabled() {
+  static const bool enabled = [] {
+    if (const char* env = std::getenv("KMS_CHECK_INVARIANTS")) {
+      const std::string_view v(env);
+      return !(v == "0" || v == "off" || v == "OFF" || v == "false" ||
+               v == "no");
+    }
+#ifdef KMS_CHECK_INVARIANTS
+    return true;
+#else
+    return false;
+#endif
+  }();
+  return enabled;
+}
+
+void install_invariant_self_checks() {
+  if (!invariant_checks_enabled()) return;
+  Network::set_self_check_hook(&self_check_trampoline);
+}
+
+void uninstall_invariant_self_checks() {
+  Network::set_self_check_hook(nullptr);
+}
+
+}  // namespace kms

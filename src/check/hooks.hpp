@@ -1,0 +1,30 @@
+// Wiring between the invariant checker and the Network surgery hooks.
+//
+// Two gates control self-checking:
+//  * compile time — the KMS_CHECK_INVARIANTS CMake option compiles a
+//    self-check call into every Network surgery op (reroute_source,
+//    remove_conn-family ops, duplication, sweep, ...) and into the ends
+//    of the transform passes;
+//  * run time — the KMS_CHECK_INVARIANTS environment variable. Unset, it
+//    defaults to the compile-time setting; "0"/"off"/"false"/"no"
+//    disables checks in a checking build; any other value enables the
+//    KMS-loop checkpoints even in a non-checking build (the per-op hooks
+//    only exist when compiled in).
+//
+// A violation throws CheckFailure at the operation that introduced it.
+#pragma once
+
+namespace kms {
+
+/// Effective runtime setting (env toggle over the compile-time default).
+/// Computed once per process.
+bool invariant_checks_enabled();
+
+/// Install the checker as the Network self-check hook (idempotent,
+/// no-op when invariant_checks_enabled() is false).
+void install_invariant_self_checks();
+
+/// Remove the hook (used by tests that deliberately corrupt networks).
+void uninstall_invariant_self_checks();
+
+}  // namespace kms

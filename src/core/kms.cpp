@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/base/log.hpp"
+#include "src/check/checker.hpp"
+#include "src/check/hooks.hpp"
 #include "src/netlist/transform.hpp"
 #include "src/timing/path.hpp"
 #include "src/timing/sta.hpp"
@@ -52,7 +54,15 @@ Path duplicate_prefix(Network& net, const Path& p, std::size_t n_index,
 
 KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   KmsStats stats;
+  // Checkpoints between loop phases: catch an invariant violation at the
+  // phase that introduced it instead of three transforms later.
+  const bool checking = opts.check_invariants || invariant_checks_enabled();
+  const auto checkpoint = [&](const char* phase) {
+    if (checking) enforce_invariants(net, phase);
+  };
+  checkpoint("kms:input");
   stats.decomposed_complex = decompose_to_simple(net);
+  checkpoint("kms:decompose_to_simple");
 
   stats.initial_gates = net.count_gates();
   stats.initial_topo_delay = topological_delay(net);
@@ -101,6 +111,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
             ? duplicate_prefix(net, path, static_cast<std::size_t>(n_index),
                                &stats.duplicated_gates)
             : path;
+    checkpoint("kms:duplicate_prefix");
 
     // Fig. 3 re-tests "If P' is not statically sensitizable" here. The
     // test above already established it: P is not sensitizable under
@@ -119,6 +130,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     propagate_constants(net);
     collapse_buffers(net);
     net.sweep();
+    checkpoint("kms:constant_propagation");
     ++stats.constants_set;
     ++stats.iterations;
   }
@@ -127,6 +139,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   if (opts.remove_remaining) {
     const RedundancyRemovalResult r = remove_redundancies(net, opts.removal);
     stats.redundancies_removed = r.removed;
+    checkpoint("kms:remove_redundancies");
   }
 
   stats.final_gates = net.count_gates();

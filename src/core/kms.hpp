@@ -44,6 +44,11 @@ struct KmsOptions {
 
   /// Run the final removal phase (disable to study the loop alone).
   bool remove_remaining = true;
+
+  /// Run the netlist invariant checker (src/check/) between loop phases
+  /// and throw CheckFailure on a violation. Also enabled globally by the
+  /// KMS_CHECK_INVARIANTS build option / environment toggle.
+  bool check_invariants = false;
 };
 
 struct KmsStats {

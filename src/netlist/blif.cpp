@@ -15,13 +15,24 @@ namespace {
 
 // ---- reader ---------------------------------------------------------------
 
+/// "line 12: " — prefix for parse diagnostics; kmslint greps for it.
+std::string at_line(int line) { return str_format("line %d: ", line); }
+
+/// A cube line together with the physical line it came from.
+struct Cube {
+  int line = 0;
+  std::string text;  // "pattern phase"
+};
+
 struct NamesNode {
+  int line = 0;  ///< physical line of the .names directive
   std::vector<std::string> inputs;
   std::string output;
-  std::vector<std::string> cubes;  // "pattern phase"
+  std::vector<Cube> cubes;
 };
 
 struct LatchDecl {
+  int line = 0;
   std::string input;   // data (next-state) signal
   std::string output;  // state signal
   bool init = false;
@@ -29,17 +40,27 @@ struct LatchDecl {
 
 struct BlifModel {
   std::string name;
+  int inputs_line = 0;   ///< first .inputs directive
+  int outputs_line = 0;  ///< first .outputs directive
   std::vector<std::string> inputs;
   std::vector<std::string> outputs;
   std::vector<NamesNode> nodes;
   std::vector<LatchDecl> latches;
 };
 
+/// A logical line tagged with the 1-based physical line it started on.
+struct SourceLine {
+  int line = 0;
+  std::string text;
+};
+
 /// Read logical lines: strips comments, joins '\' continuations.
-std::vector<std::string> logical_lines(std::istream& in) {
-  std::vector<std::string> lines;
+std::vector<SourceLine> logical_lines(std::istream& in) {
+  std::vector<SourceLine> lines;
   std::string raw, acc;
+  int lineno = 0, start = 0;
   while (std::getline(in, raw)) {
+    ++lineno;
     if (auto hash = raw.find('#'); hash != std::string::npos)
       raw.erase(hash);
     std::string_view t = trim(raw);
@@ -48,22 +69,24 @@ std::vector<std::string> logical_lines(std::istream& in) {
       cont = true;
       t.remove_suffix(1);
     }
+    if (acc.empty()) start = lineno;
     acc += std::string(t);
     if (cont) {
       acc += ' ';
       continue;
     }
-    if (!trim(acc).empty()) lines.emplace_back(trim(acc));
+    if (!trim(acc).empty()) lines.push_back({start, std::string(trim(acc))});
     acc.clear();
   }
-  if (!trim(acc).empty()) lines.emplace_back(trim(acc));
+  if (!trim(acc).empty()) lines.push_back({start, std::string(trim(acc))});
   return lines;
 }
 
 BlifModel parse_model(std::istream& in) {
   BlifModel model;
   NamesNode* current = nullptr;
-  for (const std::string& line : logical_lines(in)) {
+  for (const SourceLine& src : logical_lines(in)) {
+    const std::string& line = src.text;
     auto tok = split_ws(line);
     if (tok.empty()) continue;
     const std::string& cmd = tok[0];
@@ -72,12 +95,16 @@ BlifModel parse_model(std::istream& in) {
       if (cmd == ".model") {
         if (tok.size() > 1) model.name = tok[1];
       } else if (cmd == ".inputs") {
+        if (model.inputs_line == 0) model.inputs_line = src.line;
         model.inputs.insert(model.inputs.end(), tok.begin() + 1, tok.end());
       } else if (cmd == ".outputs") {
+        if (model.outputs_line == 0) model.outputs_line = src.line;
         model.outputs.insert(model.outputs.end(), tok.begin() + 1, tok.end());
       } else if (cmd == ".names") {
-        if (tok.size() < 2) throw BlifError(".names with no signals");
+        if (tok.size() < 2)
+          throw BlifError(at_line(src.line) + ".names with no signals");
         NamesNode node;
+        node.line = src.line;
         node.inputs.assign(tok.begin() + 1, tok.end() - 1);
         node.output = tok.back();
         model.nodes.push_back(std::move(node));
@@ -86,8 +113,10 @@ BlifModel parse_model(std::istream& in) {
         break;
       } else if (cmd == ".latch") {
         // .latch <input> <output> [<type> <control>] [<init-val>]
-        if (tok.size() < 3) throw BlifError("malformed .latch");
+        if (tok.size() < 3)
+          throw BlifError(at_line(src.line) + "malformed .latch");
         LatchDecl latch;
+        latch.line = src.line;
         latch.input = tok[1];
         latch.output = tok[2];
         const std::string& last = tok.back();
@@ -96,14 +125,16 @@ BlifModel parse_model(std::istream& in) {
           latch.init = last == "1";
         model.latches.push_back(std::move(latch));
       } else if (cmd == ".subckt" || cmd == ".gate") {
-        throw BlifError("unsupported BLIF construct: " + cmd);
+        throw BlifError(at_line(src.line) +
+                        "unsupported BLIF construct: " + cmd);
       } else {
         // Ignore unknown directives (.default_input_arrival etc.).
       }
     } else {
       if (current == nullptr)
-        throw BlifError("cover line outside .names: " + line);
-      current->cubes.push_back(line);
+        throw BlifError(at_line(src.line) +
+                        "cover line outside .names: " + line);
+      current->cubes.push_back({src.line, line});
     }
   }
   if (model.outputs.empty()) throw BlifError("model has no outputs");
@@ -127,40 +158,47 @@ class Elaborator {
 
   GateId cover(const NamesNode& node, const std::vector<GateId>& fanins) {
     // Split "pattern phase" lines; validate a consistent output phase.
-    std::vector<std::string> patterns;
+    std::vector<Cube> patterns;
     int phase = -1;
-    for (const std::string& cube : node.cubes) {
-      auto tok = split_ws(cube);
+    for (const Cube& cube : node.cubes) {
+      auto tok = split_ws(cube.text);
       std::string pattern, out;
       if (node.inputs.empty()) {
-        if (tok.size() != 1) throw BlifError("bad constant cover: " + cube);
+        if (tok.size() != 1)
+          throw BlifError(at_line(cube.line) +
+                          "bad constant cover: " + cube.text);
         out = tok[0];
       } else {
-        if (tok.size() != 2) throw BlifError("bad cover line: " + cube);
+        if (tok.size() != 2)
+          throw BlifError(at_line(cube.line) + "bad cover line: " + cube.text);
         pattern = tok[0];
         out = tok[1];
         if (pattern.size() != node.inputs.size())
-          throw BlifError("cover width mismatch: " + cube);
+          throw BlifError(at_line(cube.line) +
+                          "cover width mismatch: " + cube.text);
       }
       if (out != "0" && out != "1")
-        throw BlifError("bad output phase: " + cube);
+        throw BlifError(at_line(cube.line) + "bad output phase: " + cube.text);
       const int p = out == "1" ? 1 : 0;
       if (phase != -1 && phase != p)
-        throw BlifError("mixed output phases in one cover");
+        throw BlifError(at_line(cube.line) +
+                        "mixed output phases in one cover");
       phase = p;
-      patterns.push_back(pattern);
+      patterns.push_back({cube.line, pattern});
     }
     if (patterns.empty()) return net_.const_gate(false);
     if (node.inputs.empty())
       return net_.const_gate(phase == 1);
 
     std::vector<GateId> terms;
-    for (const std::string& p : patterns) {
+    for (const Cube& cube : patterns) {
+      const std::string& p = cube.text;
       std::vector<GateId> lits;
       for (std::size_t i = 0; i < p.size(); ++i) {
         if (p[i] == '-') continue;
         if (p[i] != '0' && p[i] != '1')
-          throw BlifError("bad input literal in cover: " + p);
+          throw BlifError(at_line(cube.line) +
+                          "bad input literal in cover: " + p);
         lits.push_back(literal(fanins[i], p[i] == '1'));
       }
       if (lits.empty()) {
@@ -199,13 +237,15 @@ Network elaborate_model(const BlifModel& model, const BlifReadOptions& opts) {
 
   std::unordered_map<std::string, GateId> signal;
   for (const std::string& i : model.inputs) {
-    if (signal.count(i)) throw BlifError("duplicate input: " + i);
+    if (signal.count(i))
+      throw BlifError(at_line(model.inputs_line) + "duplicate input: " + i);
     signal.emplace(i, net.add_input(i));
   }
   // Latch outputs are state signals: inputs of the combinational core.
   for (const LatchDecl& latch : model.latches) {
     if (signal.count(latch.output))
-      throw BlifError("latch output redefines a signal: " + latch.output);
+      throw BlifError(at_line(latch.line) +
+                      "latch output redefines a signal: " + latch.output);
     signal.emplace(latch.output, net.add_input(latch.output));
   }
 
@@ -214,9 +254,11 @@ Network elaborate_model(const BlifModel& model, const BlifReadOptions& opts) {
   std::unordered_map<std::string, std::size_t> by_output;
   for (std::size_t i = 0; i < model.nodes.size(); ++i) {
     if (!by_output.emplace(model.nodes[i].output, i).second)
-      throw BlifError("signal defined twice: " + model.nodes[i].output);
+      throw BlifError(at_line(model.nodes[i].line) +
+                      "signal defined twice: " + model.nodes[i].output);
     if (signal.count(model.nodes[i].output))
-      throw BlifError("node redefines an input: " + model.nodes[i].output);
+      throw BlifError(at_line(model.nodes[i].line) +
+                      "node redefines an input: " + model.nodes[i].output);
   }
   // Iterative DFS elaboration.
   std::vector<std::size_t> stack;
@@ -236,10 +278,12 @@ Network elaborate_model(const BlifModel& model, const BlifReadOptions& opts) {
         if (signal.count(in_name)) continue;
         auto it = by_output.find(in_name);
         if (it == by_output.end())
-          throw BlifError("undefined signal: " + in_name);
+          throw BlifError(at_line(model.nodes[n].line) +
+                          "undefined signal: " + in_name);
         if (!done[it->second]) {
           if (on_stack[it->second])
-            throw BlifError("combinational cycle through: " + in_name);
+            throw BlifError(at_line(model.nodes[n].line) +
+                            "combinational cycle through: " + in_name);
           stack.push_back(it->second);
           ready = false;
         }
@@ -261,14 +305,16 @@ Network elaborate_model(const BlifModel& model, const BlifReadOptions& opts) {
 
   for (const std::string& o : model.outputs) {
     auto it = signal.find(o);
-    if (it == signal.end()) throw BlifError("undefined output: " + o);
+    if (it == signal.end())
+      throw BlifError(at_line(model.outputs_line) + "undefined output: " + o);
     net.add_output(o, it->second);
   }
   // Latch data pins are next-state functions: outputs of the core.
   for (const LatchDecl& latch : model.latches) {
     auto it = signal.find(latch.input);
     if (it == signal.end())
-      throw BlifError("undefined latch input: " + latch.input);
+      throw BlifError(at_line(latch.line) +
+                      "undefined latch input: " + latch.input);
     net.add_output(latch.input, it->second);
   }
   return net;
@@ -279,8 +325,9 @@ Network elaborate_model(const BlifModel& model, const BlifReadOptions& opts) {
 Network read_blif(std::istream& in, const BlifReadOptions& opts) {
   BlifModel model = parse_model(in);
   if (!model.latches.empty())
-    throw BlifError(
-        "model contains latches; use read_blif_sequential instead");
+    throw BlifError(at_line(model.latches.front().line) +
+                    "model contains latches; use read_blif_sequential "
+                    "instead");
   return elaborate_model(model, opts);
 }
 

@@ -2,11 +2,57 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 #include <unordered_map>
 
 #include "src/base/strings.hpp"
 
 namespace kms {
+
+namespace {
+Network::SelfCheckHook g_self_check_hook = nullptr;
+}  // namespace
+
+void Network::set_self_check_hook(SelfCheckHook hook) {
+  g_self_check_hook = hook;
+}
+
+Network::SelfCheckHook Network::self_check_hook() { return g_self_check_hook; }
+
+void Network::self_check(const char* op) const {
+  if (g_self_check_hook != nullptr && surgery_depth_ == 0)
+    g_self_check_hook(*this, op);
+}
+
+/// RAII guard around a surgery operation: tracks nesting so that compound
+/// operations (remove_output -> remove_gate -> remove_conn) self-check
+/// once, when the outermost operation has restored all invariants.
+class SurgeryScope {
+ public:
+  SurgeryScope(Network& net, const char* op)
+      : net_(net), op_(op), pending_(std::uncaught_exceptions()) {
+    ++net_.surgery_depth_;
+  }
+  SurgeryScope(const SurgeryScope&) = delete;
+  SurgeryScope& operator=(const SurgeryScope&) = delete;
+  ~SurgeryScope() noexcept(false) {
+    --net_.surgery_depth_;
+    // Skip the check when unwinding: the hook may throw, and a second
+    // in-flight exception would terminate the process.
+    if (std::uncaught_exceptions() == pending_) net_.self_check(op_);
+  }
+
+ private:
+  Network& net_;
+  const char* op_;
+  const int pending_;
+};
+
+#ifdef KMS_CHECK_INVARIANTS
+#define KMS_SURGERY(op) SurgeryScope kms_surgery_scope_(*this, op)
+#else
+#define KMS_SURGERY(op) ((void)0)
+#endif
 
 GateId Network::new_gate(GateKind kind, double delay, std::string name) {
   GateId id{static_cast<std::uint32_t>(gates_.size())};
@@ -41,6 +87,7 @@ GateId Network::add_output(std::string name, GateId driver) {
 }
 
 void Network::remove_output(std::size_t index) {
+  KMS_SURGERY("remove_output");
   assert(index < outputs_.size());
   const GateId o = outputs_[index];
   remove_gate(o);
@@ -66,6 +113,7 @@ ConnId Network::connect(GateId from, GateId to, double delay) {
 }
 
 void Network::reroute_source(ConnId c, GateId new_from) {
+  KMS_SURGERY("reroute_source");
   Conn& cn = conn(c);
   assert(!cn.dead && !gate(new_from).dead);
   auto& outs = gates_[cn.from.value()].fanouts;
@@ -85,10 +133,12 @@ void Network::remove_conn(ConnId c) {
 }
 
 void Network::set_conn_constant(ConnId c, bool value) {
+  KMS_SURGERY("set_conn_constant");
   reroute_source(c, const_gate(value));
 }
 
 void Network::remove_gate(GateId g) {
+  KMS_SURGERY("remove_gate");
   Gate& gt = gate(g);
   assert(!gt.dead);
   assert(gt.fanouts.empty() && "remove_gate requires no live fanouts");
@@ -97,6 +147,7 @@ void Network::remove_gate(GateId g) {
 }
 
 GateId Network::duplicate_gate(GateId g) {
+  KMS_SURGERY("duplicate_gate");
   // Copy the fields out first: new_gate() may reallocate gates_ and any
   // reference into it would dangle.
   assert(!gate(g).dead);
@@ -118,6 +169,7 @@ GateId Network::duplicate_gate(GateId g) {
 }
 
 void Network::convert_to_constant(GateId g, bool value) {
+  KMS_SURGERY("convert_to_constant");
   Gate& gt = gate(g);
   assert(is_logic(gt.kind));
   while (!gt.fanins.empty()) remove_conn(gt.fanins.back());
@@ -208,6 +260,7 @@ std::size_t Network::max_fanout() const {
 }
 
 std::size_t Network::sweep() {
+  KMS_SURGERY("sweep");
   // Mark gates reachable backwards from the outputs.
   std::vector<bool> keep(gates_.size(), false);
   std::vector<GateId> stack;

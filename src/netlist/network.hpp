@@ -152,10 +152,30 @@ class Network {
 
   /// Verify structural invariants (endpoint symmetry, pin counts per gate
   /// kind, acyclicity). Returns an empty string if OK, else a description
-  /// of the first violation. Used heavily in tests.
+  /// of the first violation. Used heavily in tests. The full rule-based
+  /// checker with per-rule diagnostics lives in src/check/.
   std::string check() const;
 
+  // ---- invariant self-checking --------------------------------------------
+
+  /// Process-wide hook invoked after each completed surgery operation
+  /// when the library is built with KMS_CHECK_INVARIANTS (and after each
+  /// transform pass in any build). Installed by
+  /// kms::install_invariant_self_checks() — see src/check/hooks.hpp.
+  /// The hook may throw to abort the violating operation's caller.
+  using SelfCheckHook = void (*)(const Network&, const char* op);
+  static void set_self_check_hook(SelfCheckHook hook);
+  static SelfCheckHook self_check_hook();
+
+  /// Invoke the installed hook (if any), unless a surgery operation is
+  /// still in progress on this network (nested ops self-check once, at
+  /// the outermost completion, so the hook never sees a half-finished
+  /// compound operation).
+  void self_check(const char* op) const;
+
  private:
+  friend class SurgeryScope;
+
   GateId new_gate(GateKind kind, double delay, std::string name);
 
   std::string name_;
@@ -165,6 +185,8 @@ class Network {
   std::vector<GateId> outputs_;
   GateId const0_ = GateId::invalid();
   GateId const1_ = GateId::invalid();
+  /// Surgery re-entrancy depth; self_check fires only at depth zero.
+  int surgery_depth_ = 0;
 };
 
 }  // namespace kms

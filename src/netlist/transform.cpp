@@ -136,6 +136,7 @@ std::size_t decompose_to_simple(Network& net) {
         break;
     }
   }
+  net.self_check("decompose_to_simple");
   return expanded;
 }
 
@@ -356,6 +357,7 @@ std::size_t propagate_constants(Network& net) {
       }
     }
   }
+  net.self_check("propagate_constants");
   return changed_total;
 }
 
@@ -375,6 +377,7 @@ std::size_t collapse_buffers(Network& net) {
     net.remove_gate(g);
     ++removed;
   }
+  net.self_check("collapse_buffers");
   return removed;
 }
 

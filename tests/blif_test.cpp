@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/gen/adders.hpp"
 #include "src/gen/random_logic.hpp"
 #include "src/netlist/transform.hpp"
@@ -114,6 +116,47 @@ TEST(BlifTest, RoundTripRandomNetworks) {
     Network back = read_blif_string(write_blif_string(net));
     EXPECT_TRUE(exhaustive_equiv(net, back).equivalent) << "seed " << seed;
   }
+}
+
+// Extracts the "line N" number a BlifError reports, or -1.
+int reported_line(const std::string& text) {
+  try {
+    read_blif_string(text);
+  } catch (const BlifError& e) {
+    const std::string what = e.what();
+    const auto pos = what.find("line ");
+    if (pos != std::string::npos)
+      return std::atoi(what.c_str() + pos + 5);
+    return -1;
+  }
+  return -1;
+}
+
+TEST(BlifTest, ParseErrorsReportLineNumbers) {
+  // Cube with too many input literals on physical line 5.
+  EXPECT_EQ(reported_line(".model m\n.inputs a b\n.outputs y\n"
+                          ".names a b y\n111 1\n.end\n"),
+            5);
+  // Undefined signal used by the .names on line 4.
+  EXPECT_EQ(reported_line(".model m\n.inputs a\n.outputs y\n"
+                          ".names a ghost y\n11 1\n.end\n"),
+            4);
+  // Signal defined twice; the second .names on line 6 is the offender.
+  EXPECT_EQ(reported_line(".model m\n.inputs a\n.outputs y\n"
+                          ".names a y\n1 1\n.names a y\n0 1\n.end\n"),
+            6);
+  // .latch rejected where it appears (line 4).
+  EXPECT_EQ(reported_line(".model m\n.inputs a\n.outputs y\n"
+                          ".latch a y 2\n.end\n"),
+            4);
+}
+
+TEST(BlifTest, ContinuationKeepsFirstPhysicalLineNumber) {
+  // The .names starts on line 4 and continues onto line 5; the bad cube
+  // is on line 6.
+  const int line = reported_line(
+      ".model m\n.inputs a b\n.outputs y\n.names a \\\nb y\n111 1\n.end\n");
+  EXPECT_EQ(line, 6);
 }
 
 TEST(BlifTest, RoundTripConstants) {

@@ -78,6 +78,24 @@ TEST(KmscliTest, StatsAndDelayAndAuditRun) {
   std::remove(in_path.c_str());
 }
 
+TEST(KmscliTest, CheckFlagStaysCleanThroughIrr) {
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  const std::string in_path = temp_path("kmscli_chk.blif");
+  const std::string out_path = temp_path("kmscli_chk_out.blif");
+  write_blif_file(net, in_path);
+  // --check runs the invariant checker on the input and after each
+  // transform stage; a clean run must still exit 0.
+  ASSERT_EQ(run_cli("irr " + in_path + " -o " + out_path +
+                    " --check 2>/dev/null"),
+            0);
+  EXPECT_EQ(run_cli("stats " + in_path + " --check >/dev/null 2>&1"), 0);
+  Network result = read_blif_file(out_path);
+  EXPECT_TRUE(exhaustive_equiv(net, result).equivalent);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
 TEST(KmscliTest, MissingFileFails) {
   EXPECT_NE(run_cli("stats /nonexistent.blif 2>/dev/null") & 0xFF00, 0);
 }

@@ -1,0 +1,158 @@
+// End-to-end test of the kmslint tool: lints real BLIF files through the
+// real binary and asserts exit codes, rule ids and line numbers — the
+// contract scripts depend on.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef KMSLINT_PATH
+#error "KMSLINT_PATH must be defined by the build"
+#endif
+
+namespace kms {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  ASSERT_TRUE(out.good());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Runs kmslint, returns its exit code; stderr+stdout land in `capture`.
+int run_lint(const std::string& args, std::string* capture = nullptr) {
+  const std::string cap = temp_path("kmslint_cap.txt");
+  const std::string cmd =
+      std::string(KMSLINT_PATH) + " " + args + " > " + cap + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (capture) *capture = slurp(cap);
+  std::remove(cap.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+const char kCleanBlif[] =
+    ".model clean\n"
+    ".inputs a b\n"
+    ".outputs y\n"
+    ".names a b y\n"
+    "11 1\n"
+    ".end\n";
+
+// `dead1` feeds nothing: its cone is an orphan (NL013) and the checker
+// should name the gate.
+const char kOrphanBlif[] =
+    ".model orphan\n"
+    ".inputs a b\n"
+    ".outputs y\n"
+    ".names a b y\n"
+    "11 1\n"
+    ".names a b dead1\n"
+    "10 1\n"
+    ".end\n";
+
+// Three literals in the input plane for a two-input node — a parse error
+// on (physical) line 5.
+const char kMalformedBlif[] =
+    ".model broken\n"
+    ".inputs a b\n"
+    ".outputs y\n"
+    ".names a b y\n"
+    "111 1\n"
+    ".end\n";
+
+TEST(KmslintTest, UsageErrorOnNoArgs) {
+  EXPECT_EQ(run_lint(""), 1);
+}
+
+TEST(KmslintTest, CleanFileExitsZero) {
+  const std::string path = temp_path("lint_clean.blif");
+  write_file(path, kCleanBlif);
+  std::string out;
+  EXPECT_EQ(run_lint(path, &out), 0);
+  EXPECT_NE(out.find("clean"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(KmslintTest, ParseErrorNamesRuleAndLine) {
+  const std::string path = temp_path("lint_broken.blif");
+  write_file(path, kMalformedBlif);
+  std::string out;
+  EXPECT_EQ(run_lint(path, &out), 2);
+  EXPECT_NE(out.find("NL900"), std::string::npos) << out;
+  EXPECT_NE(out.find("line 5"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(KmslintTest, OrphanConeIsWarningUnlessStrict) {
+  const std::string path = temp_path("lint_orphan.blif");
+  write_file(path, kOrphanBlif);
+
+  std::string out;
+  EXPECT_EQ(run_lint(path, &out), 0);  // warnings alone don't fail
+  EXPECT_NE(out.find("NL013"), std::string::npos) << out;
+  EXPECT_NE(out.find("dead1"), std::string::npos) << out;
+
+  EXPECT_EQ(run_lint("--strict " + path, &out), 2);
+  EXPECT_NE(out.find("NL013"), std::string::npos) << out;
+
+  // --no-warn suppresses the finding entirely.
+  EXPECT_EQ(run_lint("--strict --no-warn " + path, &out), 0);
+  EXPECT_EQ(out.find("NL013"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(KmslintTest, JsonReportIsStructured) {
+  const std::string path = temp_path("lint_json.blif");
+  write_file(path, kOrphanBlif);
+  std::string out;
+  EXPECT_EQ(run_lint("--json " + path, &out), 0);
+  EXPECT_NE(out.find("\"file\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"rule\":\"NL013\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"warnings\":"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(KmslintTest, ListRulesPrintsTable) {
+  std::string out;
+  EXPECT_EQ(run_lint("--list-rules", &out), 0);
+  EXPECT_NE(out.find("NL001"), std::string::npos) << out;
+  EXPECT_NE(out.find("NL900"), std::string::npos) << out;
+}
+
+TEST(KmslintTest, MissingFileFails) {
+  std::string out;
+  EXPECT_EQ(run_lint(temp_path("no_such_file.blif"), &out), 2);
+  EXPECT_NE(out.find("NL900"), std::string::npos) << out;
+}
+
+TEST(KmslintTest, MultipleFilesAggregateExitCode) {
+  const std::string good = temp_path("lint_multi_good.blif");
+  const std::string bad = temp_path("lint_multi_bad.blif");
+  write_file(good, kCleanBlif);
+  write_file(bad, kMalformedBlif);
+  std::string out;
+  EXPECT_EQ(run_lint(good + " " + bad, &out), 2);
+  EXPECT_NE(out.find("NL900"), std::string::npos) << out;
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Configure, build and test the "checked" configuration: ASan + UBSan with
+# KMS_CHECK_INVARIANTS=ON, so every Network surgery operation self-checks
+# and every test runs under the sanitizers. One-line CI entry point:
+#
+#   tools/check_build.sh [extra ctest args...]
+#
+# Equivalent to: cmake --preset checked && cmake --build --preset checked
+#                && ctest --preset checked
+set -eu
+cd "$(dirname "$0")/.."
+cmake --preset checked
+cmake --build --preset checked -j "$(nproc)"
+ctest --preset checked -j "$(nproc)" "$@"

@@ -11,6 +11,10 @@
 //   kmscli stats <in.blif>
 //                size/depth/interface summary
 //
+// The --check flag runs the netlist invariant checker (src/check/) on
+// the input and after each transform stage, printing diagnostics to
+// stderr; error-severity findings abort with exit code 2.
+//
 // Exit code 0 on success, 1 on usage errors, 2 on processing errors.
 #include <cstdio>
 #include <cstring>
@@ -19,6 +23,8 @@
 #include <string>
 
 #include "src/atpg/atpg.hpp"
+#include "src/check/checker.hpp"
+#include "src/check/hooks.hpp"
 #include "src/core/kms.hpp"
 #include "src/netlist/blif.hpp"
 #include "src/netlist/transform.hpp"
@@ -36,12 +42,13 @@ struct Args {
   std::string input;
   std::string output;
   SensitizationMode mode = SensitizationMode::kStatic;
+  bool check = false;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: kmscli <irr|audit|delay|stats> <in.blif> "
-               "[-o out.blif] [--mode static|viability]\n");
+               "[-o out.blif] [--mode static|viability] [--check]\n");
   return 1;
 }
 
@@ -62,11 +69,24 @@ bool parse_args(int argc, char** argv, Args* args) {
       } else {
         return false;
       }
+    } else if (a == "--check") {
+      args->check = true;
     } else {
       return false;
     }
   }
   return true;
+}
+
+/// Run the invariant checker on `net`, printing findings to stderr.
+/// Throws CheckFailure on error-severity findings so commands fail fast.
+void check_stage(const Args& args, const Network& net, const char* stage) {
+  if (!args.check) return;
+  const Diagnostics diags = NetworkChecker().run(net);
+  if (!diags.empty())
+    diags.print_text(std::cerr, std::string("check(") + stage + "): ");
+  if (diags.error_count() > 0)
+    throw CheckFailure(std::string("invariant violations at stage ") + stage);
 }
 
 /// Load either a combinational or a sequential BLIF file.
@@ -88,13 +108,16 @@ void print_stats(const Network& net, std::size_t latches) {
 
 int cmd_stats(const Args& args) {
   const BlifSequential model = load(args.input);
+  check_stage(args, model.comb, "input");
   print_stats(model.comb, model.latch_init.size());
   return 0;
 }
 
 int cmd_delay(const Args& args) {
   BlifSequential model = load(args.input);
+  check_stage(args, model.comb, "input");
   decompose_to_simple(model.comb);
+  check_stage(args, model.comb, "decompose_to_simple");
   const double topo = topological_delay(model.comb);
   const DelayReport r = computed_delay(model.comb, args.mode);
   std::printf("longest path    : %.3f\n", topo);
@@ -114,7 +137,9 @@ int cmd_delay(const Args& args) {
 
 int cmd_audit(const Args& args) {
   BlifSequential model = load(args.input);
+  check_stage(args, model.comb, "input");
   decompose_to_simple(model.comb);
+  check_stage(args, model.comb, "decompose_to_simple");
   const auto faults = collapsed_faults(model.comb);
   Atpg atpg(model.comb);
   std::size_t redundant = 0;
@@ -134,9 +159,13 @@ int cmd_audit(const Args& args) {
 
 int cmd_irr(const Args& args) {
   BlifSequential model = load(args.input);
+  check_stage(args, model.comb, "input");
   KmsOptions opts;
   opts.mode = args.mode;
+  // --check also turns on the checkpoints between KMS loop phases.
+  opts.check_invariants = args.check;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
+  check_stage(args, model.comb, "kms_make_irredundant");
   std::fprintf(stderr,
                "gates %zu -> %zu, delay %.3f -> %.3f (computed "
                "%.3f -> %.3f), %zu loop transforms, %zu removals\n",
@@ -161,6 +190,7 @@ int cmd_irr(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, &args)) return usage();
+  if (args.check) install_invariant_self_checks();
   try {
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "delay") return cmd_delay(args);

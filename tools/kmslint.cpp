@@ -1,0 +1,137 @@
+// kmslint — lint BLIF files with the netlist invariant checker.
+//
+//   kmslint [options] <in.blif>...
+//     --json        emit one JSON report object per file (array overall)
+//     --strict      treat warnings as errors for the exit code
+//     --no-warn     run error-severity rules only
+//     --list-rules  print the rule table and exit
+//
+// Each finding names its stable rule id (NL001...) and the offending
+// gate/connection; BLIF parse failures are reported as rule NL900 with
+// the source line. Exit codes: 0 clean, 1 usage error, 2 findings at
+// error severity (or, with --strict, any findings) — so corrupt inputs
+// fail fast in scripts instead of producing wrong irredundant circuits.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/check/checker.hpp"
+#include "src/check/diagnostics.hpp"
+#include "src/check/hooks.hpp"
+#include "src/netlist/blif.hpp"
+
+namespace {
+
+using namespace kms;
+
+struct Args {
+  bool json = false;
+  bool strict = false;
+  bool warnings = true;
+  bool list_rules = false;
+  std::vector<std::string> files;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: kmslint [--json] [--strict] [--no-warn] "
+               "[--list-rules] <in.blif>...\n");
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      args->json = true;
+    } else if (a == "--strict") {
+      args->strict = true;
+    } else if (a == "--no-warn") {
+      args->warnings = false;
+    } else if (a == "--list-rules") {
+      args->list_rules = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return false;
+    } else {
+      args->files.push_back(a);
+    }
+  }
+  return args->list_rules || !args->files.empty();
+}
+
+int list_rules() {
+  for (const RuleInfo& r : all_rules())
+    std::printf("%s  %-7s  %-20s  %s\n", r.id,
+                std::string(severity_name(r.severity)).c_str(), r.title,
+                r.summary);
+  return 0;
+}
+
+/// Lint one file; appends findings (a parse failure becomes NL900).
+Diagnostics lint_file(const std::string& path, const Args& args) {
+  Diagnostics diags;
+  std::ifstream in(path);
+  if (!in) {
+    Diagnostic d;
+    d.rule = "NL900";
+    d.message = "cannot open " + path;
+    diags.add(std::move(d));
+    return diags;
+  }
+  try {
+    // Accept combinational and .latch models alike.
+    const BlifSequential model = read_blif_sequential(in);
+    CheckOptions opts;
+    opts.warnings = args.warnings;
+    return NetworkChecker(opts).run(model.comb);
+  } catch (const BlifError& e) {
+    Diagnostic d;
+    d.rule = "NL900";
+    std::string msg = e.what();
+    // Parse errors carry a "line N: " prefix; lift it into the line field
+    // so JSON consumers get it structured (and the text emitter does not
+    // print it twice).
+    if (msg.rfind("line ", 0) == 0) {
+      d.line = std::atoi(msg.c_str() + 5);
+      const auto colon = msg.find(": ");
+      if (colon != std::string::npos) msg.erase(0, colon + 2);
+    }
+    d.message = std::move(msg);
+    diags.add(std::move(d));
+    return diags;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+  if (args.list_rules) return list_rules();
+  install_invariant_self_checks();
+
+  bool any_error = false, any_finding = false;
+  if (args.json) std::cout << "[";
+  for (std::size_t i = 0; i < args.files.size(); ++i) {
+    const std::string& path = args.files[i];
+    const Diagnostics diags = lint_file(path, args);
+    any_error |= diags.error_count() > 0;
+    any_finding |= !diags.empty();
+    if (args.json) {
+      if (i > 0) std::cout << ",";
+      std::cout << "{\"file\":\"" << json_escape(path) << "\",\"report\":";
+      diags.print_json(std::cout);
+      std::cout << "}";
+    } else {
+      diags.print_text(std::cerr, path + ": ");
+      if (diags.empty())
+        std::fprintf(stderr, "%s: clean (%zu rules)\n", path.c_str(),
+                     all_rules().size());
+    }
+  }
+  if (args.json) std::cout << "]\n";
+  return (any_error || (args.strict && any_finding)) ? 2 : 0;
+}
