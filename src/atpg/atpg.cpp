@@ -39,13 +39,15 @@ std::vector<bool> fault_cone(const Network& net, const Fault& f) {
 
 }  // namespace
 
-Atpg::Atpg(const Network& net) : net_(net) {}
+Atpg::Atpg(const Network& net, ResourceGovernor* governor)
+    : net_(net), governor_(governor) {}
 
-std::optional<std::vector<bool>> Atpg::generate_test(const Fault& fault) {
+TestResult Atpg::generate_test(const Fault& fault) {
   ++stats_.queries;
   const auto cone = fault_cone(net_, fault);
 
   // Untestable without a SAT call if no primary output sees the fault.
+  // This is a structural proof, exact under any resource pressure.
   bool reaches_output = false;
   for (GateId o : net_.outputs())
     if (cone[o.value()]) {
@@ -54,10 +56,11 @@ std::optional<std::vector<bool>> Atpg::generate_test(const Fault& fault) {
     }
   if (!reaches_output) {
     ++stats_.untestable;
-    return std::nullopt;
+    return TestResult{TestOutcome::kUntestable, std::nullopt};
   }
 
   Solver solver;
+  if (governor_) solver.set_governor(governor_);
   CircuitEncoding good(net_, solver);
 
   // A literal fixed to the stuck value, used to inject the fault.
@@ -113,21 +116,31 @@ std::optional<std::vector<bool>> Atpg::generate_test(const Fault& fault) {
   solver.add_clause(diffs);
 
   const sat::Result r = solver.solve();
+  // Conflicts of every solve count, aborted ones included: the work was
+  // done whether or not it produced a verdict.
   stats_.sat_conflicts += solver.stats().conflicts;
   if (r == sat::Result::kUnsat) {
     ++stats_.untestable;
-    return std::nullopt;
+    return TestResult{TestOutcome::kUntestable, std::nullopt};
+  }
+  if (r == sat::Result::kUnknown) {
+    // Resource exhaustion or an injected abort: NOT a redundancy proof.
+    ++stats_.unknown_queries;
+    return TestResult{TestOutcome::kUnknown, std::nullopt};
   }
   assert(r == sat::Result::kSat);
   ++stats_.testable;
-  return good.model_inputs();
+  return TestResult{TestOutcome::kTestable, good.model_inputs()};
 }
 
-std::vector<Fault> find_redundancies(const Network& net, std::size_t limit) {
+std::vector<Fault> find_redundancies(const Network& net, std::size_t limit,
+                                     ResourceGovernor* governor) {
   std::vector<Fault> out;
-  Atpg atpg(net);
+  Atpg atpg(net, governor);
   for (const Fault& f : collapsed_faults(net)) {
-    if (!atpg.is_testable(f)) {
+    // Only a proved kUntestable goes on the list; kUnknown (aborted)
+    // faults are kept — deleting one could change the function.
+    if (atpg.generate_test(f).outcome == TestOutcome::kUntestable) {
       out.push_back(f);
       if (limit != 0 && out.size() >= limit) break;
     }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/atpg/fault.hpp"
+#include "src/base/governor.hpp"
 #include "src/netlist/network.hpp"
 
 namespace kms {
@@ -23,34 +24,65 @@ struct AtpgStats {
   std::uint64_t queries = 0;
   std::uint64_t testable = 0;
   std::uint64_t untestable = 0;
+  /// Queries the governor stopped before a verdict. These faults are
+  /// conservatively treated as testable — an aborted query is never
+  /// evidence of redundancy.
+  std::uint64_t unknown_queries = 0;
+  /// Conflicts aggregated across every SAT solve, including aborted
+  /// ones (an exhausted budget still did — and reports — its work).
   std::uint64_t sat_conflicts = 0;
+};
+
+/// Three-valued ATPG verdict, the classic testable / untestable /
+/// aborted distinction of production test generators: only kUntestable
+/// proves redundancy; kUnknown means resources ran out first.
+enum class TestOutcome : std::uint8_t { kTestable, kUntestable, kUnknown };
+
+/// Result of one test-generation query. Converts like the optional it
+/// carries ("a test vector exists") so exact-mode callers read
+/// naturally; anything that *deletes* hardware must branch on `outcome`
+/// and act only on kUntestable.
+struct TestResult {
+  TestOutcome outcome = TestOutcome::kUnknown;
+  std::optional<std::vector<bool>> vector;  ///< set iff kTestable
+
+  bool has_value() const { return vector.has_value(); }
+  explicit operator bool() const { return vector.has_value(); }
+  std::vector<bool>& operator*() { return *vector; }
+  const std::vector<bool>& operator*() const { return *vector; }
 };
 
 class Atpg {
  public:
   /// The network must stay structurally unchanged while tests are being
-  /// generated (take a fresh Atpg after every network edit).
-  explicit Atpg(const Network& net);
+  /// generated (take a fresh Atpg after every network edit). An optional
+  /// governor bounds every SAT solve; exhaustion yields kUnknown.
+  explicit Atpg(const Network& net, ResourceGovernor* governor = nullptr);
 
-  /// A test vector (PI assignment, in net.inputs() order) detecting the
-  /// fault, or nullopt if the fault is untestable (redundant).
-  std::optional<std::vector<bool>> generate_test(const Fault& fault);
+  /// Decide testability of the fault: kTestable with a test vector (PI
+  /// assignment, in net.inputs() order), kUntestable (the fault site is
+  /// redundant), or kUnknown if the governor stopped the solve first.
+  TestResult generate_test(const Fault& fault);
 
+  /// True iff a test was found. Note the asymmetry under governance:
+  /// false covers both kUntestable and kUnknown — never delete on it.
   bool is_testable(const Fault& fault) {
-    return generate_test(fault).has_value();
+    return generate_test(fault).outcome == TestOutcome::kTestable;
   }
 
   const AtpgStats& stats() const { return stats_; }
 
  private:
   const Network& net_;
+  ResourceGovernor* governor_ = nullptr;
   AtpgStats stats_;
 };
 
-/// All untestable faults from the collapsed fault list. `limit` stops
-/// early once that many have been found (0 = no limit).
-std::vector<Fault> find_redundancies(const Network& net,
-                                     std::size_t limit = 0);
+/// All *proved* untestable faults from the collapsed fault list.
+/// `limit` stops early once that many have been found (0 = no limit).
+/// Under a governor, kUnknown verdicts are skipped (conservative).
+std::vector<Fault> find_redundancies(const Network& net, std::size_t limit = 0,
+                                     ResourceGovernor* governor = nullptr);
 
 /// Count of untestable collapsed faults (the "No. Red." column of
 /// Table I).

@@ -30,6 +30,10 @@ RedundancyRemovalResult remove_redundancies(
   RedundancyRemovalResult result;
   Rng rng(opts.seed);
   for (;;) {
+    if (opts.governor && opts.governor->should_stop()) {
+      result.aborted = true;
+      break;
+    }
     ++result.passes;
     auto faults = collapsed_faults(net);
     std::vector<bool> skip(faults.size(), false);
@@ -47,12 +51,22 @@ RedundancyRemovalResult remove_redundancies(
       for (std::size_t i = order.size(); i > 1; --i)
         std::swap(order[i - 1], order[rng.next_below(i)]);
     }
-    Atpg atpg(net);
+    Atpg atpg(net, opts.governor);
     bool removed_one = false;
     for (std::size_t i : order) {
       if (skip[i]) continue;
+      if (opts.governor && opts.governor->should_stop()) {
+        result.aborted = true;
+        break;
+      }
       ++result.sat_queries;
-      if (atpg.is_testable(faults[i])) continue;
+      const TestOutcome outcome = atpg.generate_test(faults[i]).outcome;
+      if (outcome == TestOutcome::kUnknown) {
+        // Aborted query: the fault might be testable; keep it.
+        ++result.unknown_queries;
+        continue;
+      }
+      if (outcome == TestOutcome::kTestable) continue;
       apply_redundancy_removal(net, faults[i]);
       simplify(net);
       ++result.removed;

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "src/atpg/fault.hpp"
+#include "src/base/governor.hpp"
 #include "src/netlist/network.hpp"
 
 namespace kms {
@@ -35,16 +36,25 @@ struct RedundancyRemovalOptions {
   std::size_t random_words = 8;
   RemovalOrder order = RemovalOrder::kForward;
   std::uint64_t seed = 0x5EEDull;
+  /// Optional resource governor. A fault whose ATPG query it stops is
+  /// conservatively kept (kUnknown is never a deletion licence), and
+  /// the whole loop stops once the governor reports exhaustion.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct RedundancyRemovalResult {
   std::size_t removed = 0;      ///< redundant faults asserted constant
   std::size_t passes = 0;       ///< full fault-list scans
   std::size_t sat_queries = 0;  ///< exact ATPG calls
+  std::size_t unknown_queries = 0;  ///< queries aborted by the governor
+  bool aborted = false;  ///< loop stopped early on governor exhaustion
 };
 
 /// Remove every single stuck-at redundancy from `net` (in first-found
-/// order). On return the network is fully single-stuck-at testable.
+/// order). On return the network is fully single-stuck-at testable —
+/// unless a governor stopped the run early (result.aborted), in which
+/// case the network is a correct partial result: every removal so far
+/// was individually proved, so function is preserved regardless.
 RedundancyRemovalResult remove_redundancies(
     Network& net, const RedundancyRemovalOptions& opts = {});
 

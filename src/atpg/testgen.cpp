@@ -73,11 +73,17 @@ TestSet generate_test_set(const Network& net, const TestGenOptions& opts) {
   }
 
   // Phase 2: exact ATPG for the survivors, with fault dropping.
-  Atpg atpg(net);
+  Atpg atpg(net, opts.governor);
   for (std::size_t f = 0; f < faults.size(); ++f) {
     if (detected[f]) continue;
     auto test = atpg.generate_test(faults[f]);
-    if (!test) {
+    if (test.outcome == TestOutcome::kUnknown) {
+      // Aborted, not proved redundant: the fault stays unresolved and
+      // the coverage figure below honestly reflects the miss.
+      ++set.unknown_faults;
+      continue;
+    }
+    if (test.outcome == TestOutcome::kUntestable) {
       ++set.redundant_faults;
       continue;
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/atpg/fault.hpp"
+#include "src/base/governor.hpp"
 #include "src/netlist/network.hpp"
 
 namespace kms {
@@ -21,12 +22,17 @@ struct TestGenOptions {
   /// Reverse-order compaction after generation.
   bool compact = true;
   std::uint64_t seed = 0x7E57ull;
+  /// Optional resource governor bounding the exact-ATPG phase. Faults
+  /// whose query it stops are reported in unknown_faults, never as
+  /// redundant.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct TestSet {
   std::vector<std::vector<bool>> vectors;  ///< PI assignments
   std::size_t testable_faults = 0;
   std::size_t redundant_faults = 0;        ///< untestable (no vector exists)
+  std::size_t unknown_faults = 0;  ///< ATPG aborted; testability unresolved
   /// Coverage of the testable faults by `vectors` (1.0 when ATPG ran to
   /// completion — verified by fault simulation, not assumed).
   double coverage = 0.0;

@@ -1,0 +1,131 @@
+#include "src/base/governor.hpp"
+
+#include <algorithm>
+
+namespace kms {
+namespace {
+
+/// splitmix64 — decorrelates (seed, index) pairs so per-query abort
+/// decisions are independent coin flips, reproducible across platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector FaultInjector::at_indices(std::vector<std::uint64_t> indices) {
+  FaultInjector f;
+  f.active_ = true;
+  std::sort(indices.begin(), indices.end());
+  f.indices_ = std::move(indices);
+  return f;
+}
+
+FaultInjector FaultInjector::random(std::uint64_t seed,
+                                    double abort_probability,
+                                    std::uint64_t cancel_after_queries) {
+  FaultInjector f;
+  f.active_ = true;
+  f.seed_ = seed;
+  f.probability_ = abort_probability;
+  f.cancel_after_ = cancel_after_queries;
+  return f;
+}
+
+bool FaultInjector::should_abort(std::uint64_t query_index) const {
+  if (!active_) return false;
+  if (!indices_.empty())
+    return std::binary_search(indices_.begin(), indices_.end(), query_index);
+  if (probability_ <= 0.0) return false;
+  if (probability_ >= 1.0) return true;
+  const std::uint64_t draw = mix(seed_ ^ mix(query_index));
+  return static_cast<double>(draw) <
+         probability_ * 18446744073709551616.0 /* 2^64 */;
+}
+
+void ResourceGovernor::set_time_limit(double seconds) {
+  if (seconds <= 0) {
+    has_deadline_ = false;
+    return;
+  }
+  has_deadline_ = true;
+  deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+}
+
+std::uint64_t ResourceGovernor::begin_query() {
+  const std::uint64_t q = queries_.fetch_add(1, std::memory_order_relaxed);
+  if (injector_.active() && injector_.cancel_after_queries() > 0 &&
+      q + 1 >= injector_.cancel_after_queries())
+    request_interrupt();
+  // Query boundaries always read the clock so a deadline is honored
+  // even by solves that never conflict.
+  if (has_deadline_ && Clock::now() >= deadline_)
+    deadline_hit_.store(true, std::memory_order_relaxed);
+  return q;
+}
+
+bool ResourceGovernor::inject_abort(std::uint64_t query_index) {
+  if (!injector_.should_abort(query_index)) return false;
+  injected_aborts_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResourceGovernor::charge(std::uint64_t conflicts,
+                              std::uint64_t propagations) {
+  if (conflicts) conflicts_.fetch_add(conflicts, std::memory_order_relaxed);
+  if (propagations)
+    propagations_.fetch_add(propagations, std::memory_order_relaxed);
+}
+
+bool ResourceGovernor::over_deadline() {
+  if (!has_deadline_) return false;
+  if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+  // Throttle the clock read: every 16th probe, plus the first.
+  if ((clock_throttle_.fetch_add(1, std::memory_order_relaxed) & 15) != 0)
+    return false;
+  if (Clock::now() < deadline_) return false;
+  deadline_hit_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool ResourceGovernor::should_stop() {
+  if (stopped_.load(std::memory_order_relaxed)) return true;
+  bool stop = false;
+  if (interrupt_flag_.load(std::memory_order_relaxed)) stop = true;
+  if (conflict_limit_ >= 0 &&
+      conflicts_.load(std::memory_order_relaxed) >=
+          static_cast<std::uint64_t>(conflict_limit_)) {
+    budget_exhausted_.store(true, std::memory_order_relaxed);
+    stop = true;
+  }
+  if (propagation_limit_ >= 0 &&
+      propagations_.load(std::memory_order_relaxed) >=
+          static_cast<std::uint64_t>(propagation_limit_)) {
+    budget_exhausted_.store(true, std::memory_order_relaxed);
+    stop = true;
+  }
+  if (over_deadline()) stop = true;
+  if (stop) stopped_.store(true, std::memory_order_relaxed);
+  return stop;
+}
+
+GovernorReport ResourceGovernor::report() const {
+  GovernorReport r;
+  r.queries = queries_.load(std::memory_order_relaxed);
+  r.unknown_results = unknown_results_.load(std::memory_order_relaxed);
+  r.injected_aborts = injected_aborts_.load(std::memory_order_relaxed);
+  r.conflicts = conflicts_.load(std::memory_order_relaxed);
+  r.propagations = propagations_.load(std::memory_order_relaxed);
+  r.deadline_hit = deadline_hit_.load(std::memory_order_relaxed);
+  r.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
+  // A requested interrupt counts even if no solve ran afterwards to
+  // observe it — the run was asked to stop, and the stats must say so.
+  r.interrupted = interrupt_flag_.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace kms

@@ -1,0 +1,166 @@
+// Global resource governance for SAT-backed computations.
+//
+// Every verdict the KMS pipeline consumes is a SAT call, and in ATPG an
+// UNSAT verdict *means* "redundant, delete it". A solver that silently
+// gives up under a budget therefore must never be conflated with UNSAT:
+// the whole library threads a three-valued result (kSat / kUnsat /
+// kUnknown) and each consumer degrades in its conservative direction on
+// kUnknown (a fault is treated as testable and kept; a path is treated
+// as sensitizable and the loop exits into plain removal).
+//
+// ResourceGovernor is the shared authority that turns open-ended runs
+// into bounded ones: a steady-clock deadline, global conflict and
+// propagation budgets spanning every solver that shares the governor,
+// and a cooperative, async-signal-safe interrupt (SIGINT in kmscli).
+// Solvers consult it at query boundaries and per conflict; consumers
+// poll it between coarse-grained phases.
+//
+// FaultInjector is the deterministic test hook that proves the
+// degradation is safe: it forces kUnknown at chosen (or seeded-random)
+// query indices and can schedule a mid-run interrupt, so property tests
+// can assert that under *any* injection schedule the output network
+// stays equivalent to the input.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace kms {
+
+/// Deterministic solver-abort schedule for robustness testing. Inactive
+/// by default; construct via at_indices() or random(). Decisions depend
+/// only on the query index, never on call interleaving, so a schedule
+/// replays identically across runs.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Abort exactly the queries whose global index appears in `indices`.
+  static FaultInjector at_indices(std::vector<std::uint64_t> indices);
+
+  /// Abort each query independently with probability `abort_probability`
+  /// (deterministic in `seed` and the query index). If
+  /// `cancel_after_queries` > 0, additionally request a governor-wide
+  /// interrupt once that many queries have begun — simulating a SIGINT
+  /// landing mid-loop.
+  static FaultInjector random(std::uint64_t seed, double abort_probability,
+                              std::uint64_t cancel_after_queries = 0);
+
+  bool active() const { return active_; }
+  bool should_abort(std::uint64_t query_index) const;
+  std::uint64_t cancel_after_queries() const { return cancel_after_; }
+
+ private:
+  bool active_ = false;
+  std::vector<std::uint64_t> indices_;  // sorted
+  std::uint64_t seed_ = 0;
+  double probability_ = 0.0;
+  std::uint64_t cancel_after_ = 0;
+};
+
+/// Snapshot of everything a governor observed. Counters are cumulative;
+/// callers that govern several phases diff two snapshots.
+struct GovernorReport {
+  std::uint64_t queries = 0;          ///< solves begun under governance
+  std::uint64_t unknown_results = 0;  ///< solves that ended kUnknown
+  std::uint64_t injected_aborts = 0;  ///< kUnknowns forced by the injector
+  std::uint64_t conflicts = 0;        ///< charged across all solvers
+  std::uint64_t propagations = 0;
+  bool deadline_hit = false;
+  bool budget_exhausted = false;
+  bool interrupted = false;
+
+  /// True when any resource event forced a conservative fallback.
+  bool degraded() const {
+    return deadline_hit || budget_exhausted || interrupted ||
+           unknown_results > 0;
+  }
+};
+
+/// Shared deadline, global solve budgets and cooperative cancellation.
+/// One governor is created per bounded run (a CLI invocation, a service
+/// request) and handed by pointer to every component involved; all
+/// methods are thread-safe, and request_interrupt() is additionally
+/// async-signal-safe.
+class ResourceGovernor {
+ public:
+  ResourceGovernor() = default;
+
+  /// Arm a wall-clock deadline `seconds` from now (<= 0: unlimited).
+  void set_time_limit(double seconds);
+
+  /// Cap total conflicts across every solver sharing this governor
+  /// (< 0: unlimited).
+  void set_conflict_limit(std::int64_t limit) { conflict_limit_ = limit; }
+
+  /// Cap total propagations likewise (< 0: unlimited).
+  void set_propagation_limit(std::int64_t limit) {
+    propagation_limit_ = limit;
+  }
+
+  /// Install a fault-injection schedule (tests only).
+  void set_injector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+  /// Cooperative cancellation; safe to call from a signal handler.
+  void request_interrupt() {
+    interrupt_flag_.store(true, std::memory_order_relaxed);
+  }
+  bool interrupt_requested() const {
+    return interrupt_flag_.load(std::memory_order_relaxed);
+  }
+
+  // --- solver-side protocol ---
+
+  /// Register the start of one solve; returns its global query index.
+  /// Fires the injector's scheduled interrupt when its query count is
+  /// reached.
+  std::uint64_t begin_query();
+
+  /// True if the injection schedule aborts this query (counted).
+  bool inject_abort(std::uint64_t query_index);
+
+  /// Account solver work against the global budgets.
+  void charge(std::uint64_t conflicts, std::uint64_t propagations);
+
+  /// True once any limit is exhausted: interrupt, budget, or deadline.
+  /// Sticky — once it returns true it always will. Cheap enough for a
+  /// per-conflict call (the clock is read on a throttle).
+  bool should_stop();
+
+  /// A governed solve ended kUnknown (called by the solver).
+  void note_unknown() {
+    unknown_results_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  GovernorReport report() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool over_deadline();
+
+  std::atomic<bool> interrupt_flag_{false};
+  std::atomic<bool> stopped_{false};  // sticky aggregate of all causes
+  std::atomic<bool> deadline_hit_{false};
+  std::atomic<bool> budget_exhausted_{false};
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> unknown_results_{0};
+  std::atomic<std::uint64_t> injected_aborts_{0};
+  std::atomic<std::uint64_t> conflicts_{0};
+  std::atomic<std::uint64_t> propagations_{0};
+  std::atomic<std::uint32_t> clock_throttle_{0};
+
+  std::int64_t conflict_limit_ = -1;
+  std::int64_t propagation_limit_ = -1;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+
+  FaultInjector injector_;
+};
+
+}  // namespace kms

@@ -114,12 +114,14 @@ std::vector<bool> CircuitEncoding::model_inputs() const {
   return out;
 }
 
-std::optional<std::vector<bool>> sat_inequivalence(const Network& a,
-                                                   const Network& b) {
+sat::Result check_equivalence(const Network& a, const Network& b,
+                              std::vector<bool>* counterexample,
+                              ResourceGovernor* governor) {
   if (a.inputs().size() != b.inputs().size() ||
       a.outputs().size() != b.outputs().size())
-    throw std::invalid_argument("sat_inequivalence: interface mismatch");
+    throw std::invalid_argument("check_equivalence: interface mismatch");
   Solver solver;
+  if (governor) solver.set_governor(governor);
   CircuitEncoding ea(a, solver);
   CircuitEncoding eb(b, solver);
   // Tie the inputs together.
@@ -143,9 +145,19 @@ std::optional<std::vector<bool>> sat_inequivalence(const Network& a,
   }
   solver.add_clause(diffs);
   const sat::Result r = solver.solve();
-  if (r == sat::Result::kUnsat) return std::nullopt;
-  assert(r == sat::Result::kSat);
-  return ea.model_inputs();
+  if (r == sat::Result::kSat && counterexample)
+    *counterexample = ea.model_inputs();
+  return r;
+}
+
+std::optional<std::vector<bool>> sat_inequivalence(const Network& a,
+                                                   const Network& b) {
+  std::vector<bool> cex;
+  const sat::Result r = check_equivalence(a, b, &cex);
+  // No governor, no budget: the solver runs to completion.
+  assert(r != sat::Result::kUnknown);
+  if (r != sat::Result::kSat) return std::nullopt;
+  return cex;
 }
 
 bool sat_equivalent(const Network& a, const Network& b) {

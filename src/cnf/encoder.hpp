@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/governor.hpp"
 #include "src/base/ids.hpp"
 #include "src/netlist/network.hpp"
 #include "src/sat/solver.hpp"
@@ -51,9 +52,20 @@ class CircuitEncoding {
 void encode_gate(sat::Solver& solver, GateKind kind, sat::Var out_var,
                  const std::vector<sat::Lit>& fanin_lits);
 
+/// Governed equivalence miter (three-valued). kUnsat = equivalent,
+/// kSat = inequivalent (*counterexample, if non-null, receives a
+/// distinguishing input assignment), kUnknown = the governor's resources
+/// ran out before a verdict — the networks must be treated as possibly
+/// inequivalent. Interfaces are matched positionally and must agree in
+/// size. `governor` may be null (then kUnknown cannot occur).
+sat::Result check_equivalence(const Network& a, const Network& b,
+                              std::vector<bool>* counterexample = nullptr,
+                              ResourceGovernor* governor = nullptr);
+
 /// Equivalence miter: returns a counterexample input assignment if the
 /// networks differ (matched positionally by PI/PO), or std::nullopt if
-/// they are equivalent. Interfaces must match in size.
+/// they are equivalent. Interfaces must match in size. Exact: runs
+/// ungoverned to completion.
 std::optional<std::vector<bool>> sat_inequivalence(const Network& a,
                                                    const Network& b);
 

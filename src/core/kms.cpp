@@ -54,6 +54,10 @@ Path duplicate_prefix(Network& net, const Path& p, std::size_t n_index,
 
 KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   KmsStats stats;
+  ResourceGovernor* const gov = opts.governor;
+  // Diff the governor's counters so a reused governor (one bounding a
+  // whole CLI run) attributes only this call's work to these stats.
+  const GovernorReport gov_base = gov ? gov->report() : GovernorReport{};
   // Checkpoints between loop phases: catch an invariant violation at the
   // phase that introduced it instead of three transforms later.
   const bool checking = opts.check_invariants || invariant_checks_enabled();
@@ -68,11 +72,17 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   stats.initial_topo_delay = topological_delay(net);
   stats.initial_max_fanout = net.max_fanout();
   {
-    const DelayReport r = computed_delay(net, opts.mode);
+    const DelayReport r = computed_delay(net, opts.mode, opts.max_queries, gov);
     stats.initial_computed_delay = r.delay;
   }
 
   while (stats.iterations < opts.max_iterations) {
+    // Bounded run: stop transforming the moment the governor trips.
+    // Exiting the loop at any iteration is safe — the delay invariant
+    // (Theorems 7.1/7.2) is maintained per iteration, not only at the
+    // natural fixpoint — and the final removal phase below degrades on
+    // its own terms (it only deletes *proved* redundancies).
+    if (gov && gov->should_stop()) break;
     // Fig. 3 tests whether ALL longest paths are unsensitizable before
     // transforming; the theorems, however, only require the *chosen*
     // path P to be a longest path that is not sensitizable (Theorem
@@ -87,10 +97,15 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     if (!chosen) break;  // no IO-paths left at all
     Path path = std::move(*chosen);
 
-    Sensitizer sens(net, opts.mode);
-    const bool path_sensitizable = sens.check(path).has_value();
+    Sensitizer sens(net, opts.mode, gov);
+    const SensitizeResult sres = sens.check(path);
     stats.sensitization_queries += sens.queries();
-    if (path_sensitizable) break;
+    // Only a *proved* kUnsat licenses the transformation (Theorem 7.2's
+    // premise is that P is not sensitizable). kSat is the natural exit;
+    // kUnknown degrades the same way — treat the path as sensitizable
+    // and fall through to plain removal rather than transform on an
+    // unproved premise.
+    if (sres.verdict != sat::Result::kUnsat) break;
     KMS_LOG(kDebug) << "kms: transforming longest path (len=" << path.length
                     << "): " << format_path(net, path);
 
@@ -137,7 +152,9 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
 
   stats.iteration_cap_hit = stats.iterations >= opts.max_iterations;
   if (opts.remove_remaining) {
-    const RedundancyRemovalResult r = remove_redundancies(net, opts.removal);
+    RedundancyRemovalOptions removal = opts.removal;
+    removal.governor = gov;
+    const RedundancyRemovalResult r = remove_redundancies(net, removal);
     stats.redundancies_removed = r.removed;
     checkpoint("kms:remove_redundancies");
   }
@@ -146,8 +163,17 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   stats.final_topo_delay = topological_delay(net);
   stats.final_max_fanout = net.max_fanout();
   {
-    const DelayReport r = computed_delay(net, opts.mode);
+    const DelayReport r = computed_delay(net, opts.mode, opts.max_queries, gov);
     stats.final_computed_delay = r.delay;
+  }
+  if (gov) {
+    const GovernorReport gr = gov->report();
+    stats.unknown_queries = gr.unknown_results - gov_base.unknown_results;
+    stats.deadline_hit = gr.deadline_hit;
+    stats.budget_exhausted = gr.budget_exhausted;
+    stats.interrupted = gr.interrupted;
+    stats.degraded = stats.unknown_queries > 0 || stats.deadline_hit ||
+                     stats.budget_exhausted || stats.interrupted;
   }
   return stats;
 }

@@ -49,6 +49,16 @@ struct KmsOptions {
   /// and throw CheckFailure on a violation. Also enabled globally by the
   /// KMS_CHECK_INVARIANTS build option / environment toggle.
   bool check_invariants = false;
+
+  /// Optional resource governor: shared wall-clock deadline, global
+  /// conflict/propagation budgets and cooperative interrupt across
+  /// every SAT solve of the run. On exhaustion each phase degrades in
+  /// its conservative direction — an undecided path counts as
+  /// sensitizable (the loop exits into plain removal; stopping the loop
+  /// at any iteration is safe because Theorems 7.1/7.2 are per-
+  /// iteration invariants), and an undecided fault is kept, never
+  /// removed. The result is always an equivalent network.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct KmsStats {
@@ -60,6 +70,14 @@ struct KmsStats {
   std::size_t decomposed_complex = 0;
   bool path_cap_hit = false;       ///< sensitization query budget exhausted
   bool iteration_cap_hit = false;  ///< loop stopped by max_iterations
+
+  // Graceful-degradation bookkeeping (set only when a governor ran).
+  std::size_t unknown_queries = 0;  ///< SAT solves stopped before a verdict
+  bool deadline_hit = false;        ///< wall-clock limit reached
+  bool budget_exhausted = false;    ///< global conflict/propagation budget
+  bool interrupted = false;         ///< cooperative cancellation (SIGINT)
+  /// Any of the above forced a conservative fallback somewhere.
+  bool degraded = false;
 
   // Before/after bookkeeping (Table I columns).
   std::size_t initial_gates = 0, final_gates = 0;

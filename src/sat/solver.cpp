@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/base/governor.hpp"
+
 namespace kms::sat {
 namespace {
 
@@ -365,8 +367,14 @@ Result Solver::search() {
       decay_var_activity();
       cla_inc_ /= 0.999;
       if (conflict_budget_ >= 0 &&
-          stats_.conflicts >= static_cast<std::uint64_t>(conflict_budget_))
+          stats_.conflicts - solve_conflicts_base_ >=
+              static_cast<std::uint64_t>(conflict_budget_))
         return Result::kUnknown;
+      if (governor_) {
+        governor_->charge(1, stats_.propagations - charged_propagations_);
+        charged_propagations_ = stats_.propagations;
+        if (governor_->should_stop()) return Result::kUnknown;
+      }
       continue;
     }
 
@@ -407,6 +415,17 @@ Result Solver::search() {
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
+  solve_conflicts_base_ = stats_.conflicts;
+  charged_propagations_ = stats_.propagations;
+  if (governor_) {
+    const std::uint64_t q = governor_->begin_query();
+    // Exhausted resources (or an injected fault) abort before any work:
+    // the caller sees kUnknown and must take its conservative fallback.
+    if (governor_->inject_abort(q) || governor_->should_stop()) {
+      governor_->note_unknown();
+      return Result::kUnknown;
+    }
+  }
   assumptions_ = assumptions;
   max_learnts_ = std::max<double>(4000.0, 0.3 * clauses_.size());
   const Result r = search();
@@ -415,6 +434,11 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       model_[v] = assigns_[v];
   cancel_until(0);
   assumptions_.clear();
+  if (governor_) {
+    governor_->charge(0, stats_.propagations - charged_propagations_);
+    charged_propagations_ = stats_.propagations;
+    if (r == Result::kUnknown) governor_->note_unknown();
+  }
   return r;
 }
 

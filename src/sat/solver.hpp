@@ -15,6 +15,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace kms {
+class ResourceGovernor;
+}
+
 namespace kms::sat {
 
 using Var = std::int32_t;
@@ -83,17 +87,27 @@ class Solver {
     return add_clause(std::vector<Lit>{a, b, c});
   }
 
-  /// Solve under the given assumptions. kUnknown only if a conflict
-  /// budget was set and exhausted.
+  /// Solve under the given assumptions. kUnknown only if a per-solve
+  /// conflict budget or an attached governor's resources were exhausted
+  /// (or the governor injected a test fault); the model is invalid and
+  /// callers must fall back conservatively — kUnknown is never evidence
+  /// of unsatisfiability.
   Result solve(const std::vector<Lit>& assumptions = {});
 
   /// Model access (valid after solve() returned kSat).
   Value model_value(Var v) const { return model_[v]; }
   bool model_bool(Var v) const { return model_[v] == Value::kTrue; }
 
-  /// Limit the number of conflicts for the next solve() calls
-  /// (-1 = unlimited).
+  /// Limit the number of conflicts of each subsequent solve() call
+  /// (-1 = unlimited). The budget is per solve: an incremental solver
+  /// reused across many queries gives every query the full allowance.
   void set_conflict_budget(std::int64_t budget) { conflict_budget_ = budget; }
+
+  /// Attach a resource governor (shared deadline, global budgets,
+  /// cooperative interrupt, fault injection). Consulted at every solve()
+  /// entry and at every conflict; exhaustion yields kUnknown. Ownership
+  /// stays with the caller; pass nullptr to detach.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
 
   const SolverStats& stats() const { return stats_; }
 
@@ -188,6 +202,9 @@ class Solver {
   std::vector<Lit> analyze_stack_;
 
   std::int64_t conflict_budget_ = -1;
+  ResourceGovernor* governor_ = nullptr;
+  std::uint64_t solve_conflicts_base_ = 0;   // stats_.conflicts at solve()
+  std::uint64_t charged_propagations_ = 0;   // high-water mark of charges
   double max_learnts_ = 0;
   SolverStats stats_;
 };

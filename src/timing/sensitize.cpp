@@ -8,8 +8,11 @@
 
 namespace kms {
 
-Sensitizer::Sensitizer(const Network& net, SensitizationMode mode)
-    : net_(net), mode_(mode), enc_(net, solver_), arrival_(compute_arrival(net)) {}
+Sensitizer::Sensitizer(const Network& net, SensitizationMode mode,
+                       ResourceGovernor* governor)
+    : net_(net), mode_(mode), enc_(net, solver_), arrival_(compute_arrival(net)) {
+  if (governor) solver_.set_governor(governor);
+}
 
 void Sensitizer::side_constraints(GateId g, ConnId entering, double event_time,
                                   std::vector<sat::Lit>* out) const {
@@ -48,12 +51,18 @@ void Sensitizer::side_constraints(GateId g, ConnId entering, double event_time,
   }
 }
 
-bool Sensitizer::satisfiable(const std::vector<sat::Lit>& assumptions) {
+sat::Result Sensitizer::solve(const std::vector<sat::Lit>& assumptions) {
   ++queries_;
-  return solver_.solve(assumptions) == sat::Result::kSat;
+  const sat::Result r = solver_.solve(assumptions);
+  if (r == sat::Result::kUnknown) aborted_ = true;
+  return r;
 }
 
-std::optional<std::vector<bool>> Sensitizer::check(const Path& path) {
+bool Sensitizer::satisfiable(const std::vector<sat::Lit>& assumptions) {
+  return solve(assumptions) == sat::Result::kSat;
+}
+
+SensitizeResult Sensitizer::check(const Path& path) {
   std::vector<sat::Lit> assumptions;
   // Event time along the path: starts at the source's arrival.
   double event_time = net_.gate(path.source).arrival;
@@ -64,8 +73,10 @@ std::optional<std::vector<bool>> Sensitizer::check(const Path& path) {
     side_constraints(g, on_path, event_time, &assumptions);
     event_time += net_.gate(g).delay;  // event leaves the gate's output
   }
-  if (!satisfiable(assumptions)) return std::nullopt;
-  return enc_.model_inputs();
+  SensitizeResult out;
+  out.verdict = solve(assumptions);
+  if (out.verdict == sat::Result::kSat) out.witness = enc_.model_inputs();
+  return out;
 }
 
 namespace {
@@ -97,9 +108,10 @@ std::vector<double> suffix_bounds(const Network& net) {
 }  // namespace
 
 DelayReport computed_delay(const Network& net, SensitizationMode mode,
-                           std::size_t max_queries) {
+                           std::size_t max_queries,
+                           ResourceGovernor* governor) {
   DelayReport report;
-  Sensitizer sens(net, mode);
+  Sensitizer sens(net, mode, governor);
   const auto suffix = suffix_bounds(net);
   constexpr double kEps = 1e-9;
 
@@ -203,6 +215,13 @@ DelayReport computed_delay(const Network& net, SensitizationMode mode,
           break;
         }
         ok = sens.satisfiable(assumptions);
+        if (sens.aborted()) {
+          // kUnknown is not "unsensitizable": pruning on it could
+          // under-report the delay. Abandon the search and fall back to
+          // the topological upper bound below.
+          budget_exhausted = true;
+          break;
+        }
       }
       if (!ok) {
         assumptions.resize(mark);
@@ -216,6 +235,7 @@ DelayReport computed_delay(const Network& net, SensitizationMode mode,
   report.paths_examined = sens.queries();
   if (budget_exhausted) {
     report.exact = false;
+    report.aborted = sens.aborted();
     report.delay = topological_delay(net);  // safe upper bound
     return report;
   }

@@ -29,13 +29,30 @@ namespace kms {
 
 enum class SensitizationMode { kStatic, kViability };
 
+/// Three-valued outcome of a sensitization test. Converts like the
+/// optional witness it carries ("proved sensitizable, here is the
+/// cube"), so exact-mode callers read naturally; resource-aware callers
+/// branch on `verdict` — kUnknown means the solver was stopped by the
+/// governor and the path must conservatively be treated as sensitizable
+/// (never as a license to transform).
+struct SensitizeResult {
+  sat::Result verdict = sat::Result::kUnknown;
+  std::optional<std::vector<bool>> witness;  ///< set iff verdict == kSat
+
+  bool has_value() const { return witness.has_value(); }
+  explicit operator bool() const { return witness.has_value(); }
+  const std::vector<bool>& operator*() const { return *witness; }
+};
+
 class Sensitizer {
  public:
-  Sensitizer(const Network& net, SensitizationMode mode);
+  Sensitizer(const Network& net, SensitizationMode mode,
+             ResourceGovernor* governor = nullptr);
 
-  /// If the path satisfies the condition, returns a witnessing primary
-  /// input assignment (in net.inputs() order); otherwise nullopt.
-  std::optional<std::vector<bool>> check(const Path& path);
+  /// Decide the condition for `path`: kSat with a witnessing primary
+  /// input assignment (in net.inputs() order), kUnsat, or kUnknown if
+  /// the attached governor stopped the solve first.
+  SensitizeResult check(const Path& path);
 
   /// Append the side-input constraints imposed by entering gate `g`
   /// through connection `entering` when the event reaches the gate's
@@ -45,11 +62,20 @@ class Sensitizer {
                         std::vector<sat::Lit>* out) const;
 
   /// Solve under an explicit assumption set (exposed for the search).
+  /// Three-valued; kUnknown when the governor stopped the solve.
+  sat::Result solve(const std::vector<sat::Lit>& assumptions);
+
+  /// Convenience: solve() == kSat. A kUnknown maps to false here but is
+  /// remembered in aborted() — callers pruning on "not satisfiable"
+  /// must consult it before trusting the pruned result.
   bool satisfiable(const std::vector<sat::Lit>& assumptions);
   std::vector<bool> model_inputs() const { return enc_.model_inputs(); }
 
   /// Number of SAT queries issued so far.
   std::size_t queries() const { return queries_; }
+
+  /// True once any solve ended kUnknown (resource exhaustion).
+  bool aborted() const { return aborted_; }
 
   SensitizationMode mode() const { return mode_; }
 
@@ -60,6 +86,7 @@ class Sensitizer {
   CircuitEncoding enc_;
   std::vector<double> arrival_;
   std::size_t queries_ = 0;
+  bool aborted_ = false;
 };
 
 /// Result of a computed-delay query (Section V: the "computed delay" is
@@ -67,7 +94,8 @@ class Sensitizer {
 /// longest path passing the chosen sensitization condition).
 struct DelayReport {
   double delay = 0.0;
-  bool exact = true;  ///< false if the path-enumeration cap was hit
+  bool exact = true;  ///< false if a cap or the governor cut the search
+  bool aborted = false;  ///< governor exhaustion (deadline/budget/interrupt)
   std::optional<Path> witness;
   std::optional<std::vector<bool>> cube;
   std::size_t paths_examined = 0;
@@ -78,9 +106,11 @@ struct DelayReport {
 /// depth-first extension of path prefixes ordered by an exact
 /// completion bound, pruning a whole subtree as soon as the prefix's
 /// accumulated side constraints become unsatisfiable. `max_queries`
-/// bounds the SAT work; on exhaustion the report carries exact=false
-/// and the best bound seen.
+/// bounds the SAT work; on exhaustion — or when the governor stops a
+/// solve (aborted=true) — the report degrades conservatively to the
+/// topological upper bound with exact=false; it never under-reports.
 DelayReport computed_delay(const Network& net, SensitizationMode mode,
-                           std::size_t max_queries = 200000);
+                           std::size_t max_queries = 200000,
+                           ResourceGovernor* governor = nullptr);
 
 }  // namespace kms

@@ -1,0 +1,139 @@
+// BLIF reader robustness: seeded truncations and mutations of the
+// example files must either parse into a checker-clean network or fail
+// with a clean BlifError — never crash, hang, or corrupt memory. The
+// checked (ASan/UBSan) preset runs this same binary, which is where the
+// "or corrupt memory" half of the contract is actually enforced.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.hpp"
+#include "src/check/checker.hpp"
+#include "src/netlist/blif.hpp"
+
+namespace kms {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing example file " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> example_files() {
+  const std::string dir = EXAMPLES_DIR;
+  return {dir + "/fulladder.blif", dir + "/parity4.blif",
+          dir + "/counter2.blif"};
+}
+
+/// The property under test: any input, however mangled, gets a clean
+/// two-outcome response. Success additionally implies a well-formed
+/// network (the invariant checker agrees).
+void expect_clean_response(const std::string& text, const char* what) {
+  try {
+    const BlifSequential model = read_blif_sequential_string(text);
+    EXPECT_EQ(NetworkChecker().run(model.comb).error_count(), 0u)
+        << what << ": parse accepted a network the checker rejects";
+  } catch (const BlifError&) {
+    // Clean rejection is the expected path for most mutants.
+  }
+}
+
+TEST(BlifFuzzTest, ExamplesParseCleanly) {
+  for (const std::string& path : example_files()) {
+    const std::string text = slurp(path);
+    const BlifSequential model = read_blif_sequential_string(text);
+    EXPECT_GT(model.comb.count_gates(), 0u) << path;
+    EXPECT_EQ(NetworkChecker().run(model.comb).error_count(), 0u) << path;
+  }
+}
+
+TEST(BlifFuzzTest, TruncationsAtEverySeededOffset) {
+  Rng rng(0xB11F);
+  for (const std::string& path : example_files()) {
+    const std::string text = slurp(path);
+    // Cut mid-keyword, mid-cover and mid-line alike.
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t cut = rng.next_u64() % (text.size() + 1);
+      expect_clean_response(text.substr(0, cut), "truncation");
+    }
+  }
+}
+
+TEST(BlifFuzzTest, SeededByteMutations) {
+  Rng rng(0xF122);
+  const std::string alphabet = " \t\n.01-abcxyz|#";
+  for (const std::string& path : example_files()) {
+    const std::string text = slurp(path);
+    for (int i = 0; i < 128; ++i) {
+      std::string mutant = text;
+      // 1-4 independent byte replacements per mutant.
+      const int edits = 1 + static_cast<int>(rng.next_u64() % 4);
+      for (int e = 0; e < edits; ++e)
+        mutant[rng.next_u64() % mutant.size()] =
+            alphabet[rng.next_u64() % alphabet.size()];
+      expect_clean_response(mutant, "byte mutation");
+    }
+  }
+}
+
+TEST(BlifFuzzTest, SeededLineDeletions) {
+  Rng rng(0xDE1E);
+  for (const std::string& path : example_files()) {
+    const std::string text = slurp(path);
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    for (std::string l; std::getline(in, l);) lines.push_back(l);
+    for (int i = 0; i < 64; ++i) {
+      // Drop 1-3 random lines (declarations, covers, .end ...).
+      std::vector<std::string> kept = lines;
+      const int drops = 1 + static_cast<int>(rng.next_u64() % 3);
+      for (int d = 0; d < drops && !kept.empty(); ++d)
+        kept.erase(kept.begin() +
+                   static_cast<std::ptrdiff_t>(rng.next_u64() % kept.size()));
+      std::string mutant;
+      for (const std::string& l : kept) mutant += l + "\n";
+      expect_clean_response(mutant, "line deletion");
+    }
+  }
+}
+
+TEST(BlifFuzzTest, SeededTokenInsertions) {
+  Rng rng(0x70CE);
+  const std::vector<std::string> tokens = {
+      ".names",  ".inputs", ".outputs", ".latch x y 0", ".end",
+      ".model",  "101 1",   "-",        "\\",            ".subckt foo",
+      ".names a b\n11 1"};
+  for (const std::string& path : example_files()) {
+    const std::string text = slurp(path);
+    for (int i = 0; i < 64; ++i) {
+      std::string mutant = text;
+      const std::string& tok = tokens[rng.next_u64() % tokens.size()];
+      // Insert at a random newline boundary so it forms its own line.
+      std::vector<std::size_t> breaks;
+      for (std::size_t p = 0; p < mutant.size(); ++p)
+        if (mutant[p] == '\n') breaks.push_back(p + 1);
+      const std::size_t at = breaks[rng.next_u64() % breaks.size()];
+      mutant.insert(at, tok + "\n");
+      expect_clean_response(mutant, "token insertion");
+    }
+  }
+}
+
+TEST(BlifFuzzTest, DegenerateInputs) {
+  for (const char* text :
+       {"", "\n", "#", ".model", ".end", ".model m\n.end\n",
+        ".inputs a\n.outputs a\n.end\n", ".names\n.end\n",
+        ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n",  // no .end
+        ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n",
+        ".latch\n", ".model \xff\xfe\n.end\n"})
+    expect_clean_response(text, "degenerate input");
+}
+
+}  // namespace
+}  // namespace kms

@@ -1,0 +1,187 @@
+// Fault-injection harness: prove that graceful degradation is *safe*.
+// Under any schedule of forced solver aborts and mid-loop cancellation,
+// (a) an aborted ATPG query is never treated as a redundancy proof, so
+// nothing is ever deleted on an unproved premise, and (b) the output of
+// kms_make_irredundant stays functionally equivalent to its input with
+// the invariant checker clean.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/atpg/atpg.hpp"
+#include "src/atpg/fault.hpp"
+#include "src/atpg/redundancy.hpp"
+#include "src/base/governor.hpp"
+#include "src/check/checker.hpp"
+#include "src/cnf/encoder.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/random_logic.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace kms {
+namespace {
+
+/// Equivalence oracle: exhaustive when feasible, SAT otherwise (the SAT
+/// check runs ungoverned, so it is exact even in degraded scenarios).
+bool equivalent(const Network& a, const Network& b) {
+  if (a.inputs().size() <= 14) return exhaustive_equiv(a, b).equivalent;
+  return sat_equivalent(a, b);
+}
+
+TEST(FaultInjectionTest, ForcedAbortIsNeverARedundancyProof) {
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  const auto faults = collapsed_faults(net);
+
+  // Exact classification first, as ground truth.
+  Atpg exact(net);
+  std::vector<TestOutcome> truth;
+  truth.reserve(faults.size());
+  for (const Fault& f : faults) truth.push_back(exact.generate_test(f).outcome);
+
+  // Every SAT query aborts. Any kUntestable still reported must have
+  // been proved structurally (no solver involved) and must agree with
+  // the ground truth; every fault that is really testable degrades to
+  // kUnknown, never to a spurious verdict.
+  ResourceGovernor gov;
+  gov.set_injector(FaultInjector::random(/*seed=*/1, /*abort_probability=*/1.0));
+  Atpg injected(net, &gov);
+  std::size_t unknowns = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const TestResult r = injected.generate_test(faults[i]);
+    if (r.outcome == TestOutcome::kUntestable)
+      EXPECT_EQ(truth[i], TestOutcome::kUntestable)
+          << "injected abort produced a false redundancy claim";
+    if (r.outcome == TestOutcome::kTestable)
+      ADD_FAILURE() << "aborted query reported a test vector";
+    EXPECT_FALSE(r.has_value());
+    if (r.outcome == TestOutcome::kUnknown) ++unknowns;
+  }
+  EXPECT_GT(unknowns, 0u);
+  EXPECT_EQ(injected.stats().unknown_queries, unknowns);
+  EXPECT_EQ(injected.stats().testable, 0u);
+}
+
+TEST(FaultInjectionTest, ExhaustedGovernorRemovesNothing) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  ASSERT_GT(count_redundancies(net), 0u);  // there IS bait to delete
+  const Network before = net;
+
+  ResourceGovernor gov;
+  gov.set_conflict_limit(0);
+  RedundancyRemovalOptions opts;
+  opts.governor = &gov;
+  const RedundancyRemovalResult r = remove_redundancies(net, opts);
+  EXPECT_EQ(r.removed, 0u);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(net.count_gates(), before.count_gates());
+  EXPECT_TRUE(equivalent(before, net));
+}
+
+TEST(FaultInjectionTest, MidLoopCancellationLeavesEquivalentNetwork) {
+  // Simulate a SIGINT landing a few queries into the KMS loop: the
+  // injector schedules a governor-wide interrupt after 5 solves.
+  Network net = carry_skip_adder(6, 3);
+  const Network original = net;
+  ResourceGovernor gov;
+  gov.set_injector(
+      FaultInjector::random(/*seed=*/3, /*abort_probability=*/0.0,
+                            /*cancel_after_queries=*/5));
+  KmsOptions opts;
+  opts.governor = &gov;
+  const KmsStats stats = kms_make_irredundant(net, opts);
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(NetworkChecker().run(net).error_count(), 0u);
+  EXPECT_TRUE(equivalent(original, net));
+}
+
+// The acceptance property: across 60 seeded injection schedules —
+// mixing abort probabilities from 0 to 0.9, scheduled mid-run
+// cancellations, and four circuit families — kms_make_irredundant
+// always yields a checker-clean network equivalent to its input. One
+// ctest case per schedule: each stays tiny even under ASan plus the
+// per-operation invariant self-checks, and a failing schedule is named
+// directly in the ctest output.
+class FaultInjectionScheduleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultInjectionScheduleTest, PreservesEquivalence) {
+  const std::uint64_t seed = GetParam();
+  Network net;
+  switch (seed % 4) {
+    case 0:
+      net = carry_skip_adder(2 + seed % 3, 2);
+      break;
+    case 1:
+      net = carry_skip_adder(4, 1 + seed % 3);
+      break;
+    case 2: {
+      RandomNetworkOptions ropts;
+      ropts.inputs = 6;
+      ropts.outputs = 3;
+      ropts.gates = 30;
+      ropts.seed = 1000 + seed;
+      net = random_network(ropts);
+      break;
+    }
+    default:
+      net = comparator(3 + seed % 3);
+      break;
+  }
+  const Network original = net;
+
+  ResourceGovernor gov;
+  const double probability = static_cast<double>(seed % 10) * 0.1;
+  const std::uint64_t cancel_after =
+      (seed % 3 == 0) ? 1 + seed % 11 : 0;  // a third also get "SIGINT"
+  gov.set_injector(FaultInjector::random(seed, probability, cancel_after));
+
+  KmsOptions opts;
+  opts.governor = &gov;
+  // The property under test is equivalence under degradation, not
+  // optimization depth: cap the branch-and-bound budget and the loop's
+  // transform count so uninjected schedules on the random-network
+  // family (whose duplication phase can balloon) stay cheap under ASan.
+  // Both caps are themselves graceful-exit paths, so every schedule
+  // still ends in the final removal phase.
+  opts.max_queries = 2000;
+  opts.max_iterations = 50;
+  const KmsStats stats = kms_make_irredundant(net, opts);
+
+  SCOPED_TRACE(::testing::Message()
+               << "schedule seed=" << seed << " p=" << probability
+               << " cancel_after=" << cancel_after
+               << " unknown=" << stats.unknown_queries);
+  EXPECT_EQ(NetworkChecker().run(net).error_count(), 0u);
+  EXPECT_TRUE(equivalent(original, net));
+  if (cancel_after > 0 && gov.report().queries >= cancel_after)
+    EXPECT_TRUE(stats.interrupted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, FaultInjectionScheduleTest,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(FaultInjectionTest, UninjectedGovernorMatchesUngovernedResult) {
+  // Sanity: a governor with no limits must not change the algorithm.
+  Network governed = carry_skip_adder(4, 2);
+  Network plain = governed;
+
+  ResourceGovernor gov;
+  KmsOptions gopts;
+  gopts.governor = &gov;
+  const KmsStats gs = kms_make_irredundant(governed, gopts);
+  const KmsStats ps = kms_make_irredundant(plain, KmsOptions{});
+
+  EXPECT_FALSE(gs.degraded);
+  EXPECT_EQ(gs.final_gates, ps.final_gates);
+  EXPECT_EQ(gs.redundancies_removed, ps.redundancies_removed);
+  EXPECT_EQ(gs.iterations, ps.iterations);
+  EXPECT_TRUE(equivalent(governed, plain));
+}
+
+}  // namespace
+}  // namespace kms

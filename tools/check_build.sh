@@ -12,3 +12,9 @@ cd "$(dirname "$0")/.."
 cmake --preset checked
 cmake --build --preset checked -j "$(nproc)"
 ctest --preset checked -j "$(nproc)" "$@"
+# The graceful-degradation property tests are the safety net for every
+# resource-limited code path (aborted solves must never license a
+# deletion); run them as their own stage so a regression is named in CI
+# output even when someone passes a filter in "$@" that skips them.
+echo "== fault-injection property tests (checked preset) =="
+ctest --preset checked -R "FaultInjection" --output-on-failure

@@ -15,14 +15,26 @@
 // the input and after each transform stage, printing diagnostics to
 // stderr; error-severity findings abort with exit code 2.
 //
-// Exit code 0 on success, 1 on usage errors, 2 on processing errors.
+// Resource governance: --time-limit <sec> arms a wall-clock deadline and
+// --conflict-limit <n> a global SAT conflict budget; SIGINT requests a
+// graceful stop. All three degrade conservatively — an undecided fault
+// is kept, an undecided path counts as sensitizable — so the output (for
+// irr, still written) is always functionally equivalent; partial stats
+// are printed and the exit code is 3. A second SIGINT exits immediately.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on processing errors,
+// 3 on graceful degradation (valid partial result under a resource
+// limit or interrupt).
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "src/atpg/atpg.hpp"
+#include "src/base/governor.hpp"
 #include "src/check/checker.hpp"
 #include "src/check/hooks.hpp"
 #include "src/core/kms.hpp"
@@ -43,12 +55,18 @@ struct Args {
   std::string output;
   SensitizationMode mode = SensitizationMode::kStatic;
   bool check = false;
+  double time_limit = 0;            // seconds; 0 = unlimited
+  std::int64_t conflict_limit = -1; // global SAT conflicts; -1 = unlimited
+  ResourceGovernor* governor = nullptr;  // installed by main()
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: kmscli <irr|audit|delay|stats> <in.blif> "
-               "[-o out.blif] [--mode static|viability] [--check]\n");
+               "[-o out.blif] [--mode static|viability] [--check]\n"
+               "              [--time-limit <sec>] [--conflict-limit <n>]\n"
+               "exit codes: 0 ok, 1 usage, 2 error, 3 degraded "
+               "(limit/SIGINT; output still valid)\n");
   return 1;
 }
 
@@ -71,11 +89,50 @@ bool parse_args(int argc, char** argv, Args* args) {
       }
     } else if (a == "--check") {
       args->check = true;
+    } else if (a == "--time-limit" && i + 1 < argc) {
+      char* end = nullptr;
+      args->time_limit = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || args->time_limit <= 0)
+        return false;
+    } else if (a == "--conflict-limit" && i + 1 < argc) {
+      char* end = nullptr;
+      args->conflict_limit = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || args->conflict_limit < 0)
+        return false;
     } else {
       return false;
     }
   }
   return true;
+}
+
+/// SIGINT wiring: the handler only flips the governor's atomic flag
+/// (async-signal-safe); every solve then winds down cooperatively. A
+/// second SIGINT aborts hard for users who really mean it.
+ResourceGovernor* g_governor = nullptr;
+
+void handle_sigint(int) {
+  if (g_governor == nullptr || g_governor->interrupt_requested())
+    std::_Exit(130);
+  g_governor->request_interrupt();
+}
+
+/// Print how a governed run degraded (if it did) and pick the exit
+/// code: 3 for a valid-but-partial result, `ok_code` otherwise.
+int finish_governed(const Args& args, int ok_code) {
+  const GovernorReport r = args.governor->report();
+  if (!r.degraded()) return ok_code;
+  std::fprintf(stderr,
+               "degraded: %llu of %llu queries unknown%s%s%s "
+               "(%llu conflicts, %llu propagations charged)\n",
+               static_cast<unsigned long long>(r.unknown_results),
+               static_cast<unsigned long long>(r.queries),
+               r.deadline_hit ? ", deadline hit" : "",
+               r.budget_exhausted ? ", conflict budget exhausted" : "",
+               r.interrupted ? ", interrupted" : "",
+               static_cast<unsigned long long>(r.conflicts),
+               static_cast<unsigned long long>(r.propagations));
+  return 3;
 }
 
 /// Run the invariant checker on `net`, printing findings to stderr.
@@ -119,20 +176,23 @@ int cmd_delay(const Args& args) {
   decompose_to_simple(model.comb);
   check_stage(args, model.comb, "decompose_to_simple");
   const double topo = topological_delay(model.comb);
-  const DelayReport r = computed_delay(model.comb, args.mode);
+  const DelayReport r =
+      computed_delay(model.comb, args.mode, 200000, args.governor);
   std::printf("longest path    : %.3f\n", topo);
   std::printf("computed delay  : %.3f (%s, %s)\n", r.delay,
               args.mode == SensitizationMode::kStatic ? "static sensitization"
                                                       : "viability",
-              r.exact ? "exact" : "upper bound, budget exhausted");
+              r.exact ? "exact"
+                      : (r.aborted ? "upper bound, resources exhausted"
+                                   : "upper bound, budget exhausted"));
   if (r.witness)
     std::printf("critical path   : %s\n",
                 format_path(model.comb, *r.witness).c_str());
-  if (topo > r.delay + 1e-9)
+  if (topo > r.delay + 1e-9 && r.exact)
     std::printf("note: the longest path is FALSE — a plain static timing "
                 "verifier overestimates this circuit by %.3f\n",
                 topo - r.delay);
-  return 0;
+  return finish_governed(args, 0);
 }
 
 int cmd_audit(const Args& args) {
@@ -141,20 +201,36 @@ int cmd_audit(const Args& args) {
   decompose_to_simple(model.comb);
   check_stage(args, model.comb, "decompose_to_simple");
   const auto faults = collapsed_faults(model.comb);
-  Atpg atpg(model.comb);
+  Atpg atpg(model.comb, args.governor);
   std::size_t redundant = 0;
-  for (const Fault& f : faults) {
-    if (!atpg.is_testable(f)) {
+  std::size_t unresolved = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (args.governor->should_stop()) {
+      // Out of resources: everything not yet queried stays unresolved
+      // (conservatively assumed testable), never reported redundant.
+      unresolved += faults.size() - i;
+      break;
+    }
+    const TestOutcome outcome = atpg.generate_test(faults[i]).outcome;
+    if (outcome == TestOutcome::kUntestable) {
       ++redundant;
-      std::printf("redundant: %s\n", format_fault(model.comb, f).c_str());
+      std::printf("redundant: %s\n",
+                  format_fault(model.comb, faults[i]).c_str());
+    } else if (outcome == TestOutcome::kUnknown) {
+      ++unresolved;
     }
   }
   std::printf("faults         : %zu collapsed\n", faults.size());
   std::printf("redundant      : %zu\n", redundant);
+  std::printf("unknown        : %zu (resource-limited; treated as testable)\n",
+              unresolved);
+  std::printf("sat conflicts  : %llu\n",
+              static_cast<unsigned long long>(atpg.stats().sat_conflicts));
   std::printf("verdict        : %s\n",
-              redundant == 0 ? "fully single-stuck-at testable"
-                             : "NOT fully testable");
-  return 0;
+              redundant != 0      ? "NOT fully testable"
+              : unresolved != 0   ? "inconclusive (resource limit)"
+                                  : "fully single-stuck-at testable");
+  return finish_governed(args, 0);
 }
 
 int cmd_irr(const Args& args) {
@@ -164,6 +240,7 @@ int cmd_irr(const Args& args) {
   opts.mode = args.mode;
   // --check also turns on the checkpoints between KMS loop phases.
   opts.check_invariants = args.check;
+  opts.governor = args.governor;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
   check_stage(args, model.comb, "kms_make_irredundant");
   std::fprintf(stderr,
@@ -173,6 +250,14 @@ int cmd_irr(const Args& args) {
                stats.initial_topo_delay, stats.final_topo_delay,
                stats.initial_computed_delay, stats.final_computed_delay,
                stats.constants_set, stats.redundancies_removed);
+  if (stats.degraded)
+    std::fprintf(stderr,
+                 "partial result (equivalent, conservatively degraded): "
+                 "%zu unknown queries%s%s%s\n",
+                 stats.unknown_queries,
+                 stats.deadline_hit ? ", deadline hit" : "",
+                 stats.budget_exhausted ? ", budget exhausted" : "",
+                 stats.interrupted ? ", interrupted" : "");
   if (args.output.empty()) {
     write_blif_sequential(model.comb, model.latch_init.size(),
                           model.latch_init, std::cout);
@@ -182,7 +267,7 @@ int cmd_irr(const Args& args) {
     write_blif_sequential(model.comb, model.latch_init.size(),
                           model.latch_init, out);
   }
-  return 0;
+  return finish_governed(args, 0);
 }
 
 }  // namespace
@@ -191,6 +276,13 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, &args)) return usage();
   if (args.check) install_invariant_self_checks();
+  ResourceGovernor governor;
+  if (args.time_limit > 0) governor.set_time_limit(args.time_limit);
+  if (args.conflict_limit >= 0)
+    governor.set_conflict_limit(args.conflict_limit);
+  args.governor = &governor;
+  g_governor = &governor;
+  std::signal(SIGINT, handle_sigint);
   try {
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "delay") return cmd_delay(args);
