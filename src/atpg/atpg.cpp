@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/cnf/encoder.hpp"
+#include "src/proof/drat.hpp"
+#include "src/proof/journal.hpp"
 
 namespace kms {
 
@@ -39,8 +41,9 @@ std::vector<bool> fault_cone(const Network& net, const Fault& f) {
 
 }  // namespace
 
-Atpg::Atpg(const Network& net, ResourceGovernor* governor)
-    : net_(net), governor_(governor) {}
+Atpg::Atpg(const Network& net, ResourceGovernor* governor,
+           proof::ProofSession* session)
+    : net_(net), governor_(governor), session_(session) {}
 
 TestResult Atpg::generate_test(const Fault& fault) {
   ++stats_.queries;
@@ -54,12 +57,18 @@ TestResult Atpg::generate_test(const Fault& fault) {
       reaches_output = true;
       break;
     }
-  if (!reaches_output) {
+  // With a proof session attached the shortcut is bypassed: every
+  // untestable verdict must carry a checkable certificate, and the SAT
+  // encoding below yields one even here — the detection clause comes out
+  // empty, a root-level contradiction any DRAT checker confirms.
+  if (!reaches_output && !session_) {
     ++stats_.untestable;
     return TestResult{TestOutcome::kUntestable, std::nullopt};
   }
 
   Solver solver;
+  proof::DratTrace trace;
+  if (session_) solver.set_proof(&trace);
   if (governor_) solver.set_governor(governor_);
   CircuitEncoding good(net_, solver);
 
@@ -121,11 +130,26 @@ TestResult Atpg::generate_test(const Fault& fault) {
   stats_.sat_conflicts += solver.stats().conflicts;
   if (r == sat::Result::kUnsat) {
     ++stats_.untestable;
-    return TestResult{TestOutcome::kUntestable, std::nullopt};
+    TestResult res{TestOutcome::kUntestable, std::nullopt};
+    if (session_) {
+      if (auto cert = trace.last_unsat_certificate()) {
+        res.proof = session_->add_certificate(std::move(*cert));
+        session_->journal.add_fault_untestable(format_fault(net_, fault),
+                                               res.proof);
+      } else {
+        // A kUnsat verdict always certifies; treat its absence as an
+        // aborted query rather than license an unproved deletion.
+        res.outcome = TestOutcome::kUnknown;
+        session_->journal.add_fault_unknown(format_fault(net_, fault));
+      }
+    }
+    return res;
   }
   if (r == sat::Result::kUnknown) {
     // Resource exhaustion or an injected abort: NOT a redundancy proof.
     ++stats_.unknown_queries;
+    if (session_)
+      session_->journal.add_fault_unknown(format_fault(net_, fault));
     return TestResult{TestOutcome::kUnknown, std::nullopt};
   }
   assert(r == sat::Result::kSat);

@@ -20,6 +20,10 @@
 
 namespace kms {
 
+namespace proof {
+class ProofSession;
+}  // namespace proof
+
 struct AtpgStats {
   std::uint64_t queries = 0;
   std::uint64_t testable = 0;
@@ -45,6 +49,9 @@ enum class TestOutcome : std::uint8_t { kTestable, kUntestable, kUnknown };
 struct TestResult {
   TestOutcome outcome = TestOutcome::kUnknown;
   std::optional<std::vector<bool>> vector;  ///< set iff kTestable
+  /// Certificate id in the proof session backing a kUntestable verdict;
+  /// -1 when no session was attached (or the verdict needs no proof).
+  std::int64_t proof = -1;
 
   bool has_value() const { return vector.has_value(); }
   explicit operator bool() const { return vector.has_value(); }
@@ -56,8 +63,13 @@ class Atpg {
  public:
   /// The network must stay structurally unchanged while tests are being
   /// generated (take a fresh Atpg after every network edit). An optional
-  /// governor bounds every SAT solve; exhaustion yields kUnknown.
-  explicit Atpg(const Network& net, ResourceGovernor* governor = nullptr);
+  /// governor bounds every SAT solve; exhaustion yields kUnknown. With a
+  /// proof session attached, every kUntestable verdict carries a DRAT
+  /// certificate (the structural-shortcut path is bypassed so that even
+  /// faults whose cone misses every output get one) and verdicts are
+  /// journalled.
+  explicit Atpg(const Network& net, ResourceGovernor* governor = nullptr,
+                proof::ProofSession* session = nullptr);
 
   /// Decide testability of the fault: kTestable with a test vector (PI
   /// assignment, in net.inputs() order), kUntestable (the fault site is
@@ -75,6 +87,7 @@ class Atpg {
  private:
   const Network& net_;
   ResourceGovernor* governor_ = nullptr;
+  proof::ProofSession* session_ = nullptr;
   AtpgStats stats_;
 };
 

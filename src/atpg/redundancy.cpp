@@ -6,6 +6,7 @@
 #include "src/atpg/atpg.hpp"
 #include "src/atpg/fault_sim.hpp"
 #include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
 
 namespace kms {
 
@@ -51,7 +52,7 @@ RedundancyRemovalResult remove_redundancies(
       for (std::size_t i = order.size(); i > 1; --i)
         std::swap(order[i - 1], order[rng.next_below(i)]);
     }
-    Atpg atpg(net, opts.governor);
+    Atpg atpg(net, opts.governor, opts.session);
     bool removed_one = false;
     for (std::size_t i : order) {
       if (skip[i]) continue;
@@ -60,13 +61,16 @@ RedundancyRemovalResult remove_redundancies(
         break;
       }
       ++result.sat_queries;
-      const TestOutcome outcome = atpg.generate_test(faults[i]).outcome;
-      if (outcome == TestOutcome::kUnknown) {
+      const TestResult test = atpg.generate_test(faults[i]);
+      if (test.outcome == TestOutcome::kUnknown) {
         // Aborted query: the fault might be testable; keep it.
         ++result.unknown_queries;
         continue;
       }
-      if (outcome == TestOutcome::kTestable) continue;
+      if (test.outcome == TestOutcome::kTestable) continue;
+      if (opts.session)
+        opts.session->journal.add_delete(format_fault(net, faults[i]),
+                                         test.proof);
       apply_redundancy_removal(net, faults[i]);
       simplify(net);
       ++result.removed;
@@ -75,6 +79,9 @@ RedundancyRemovalResult remove_redundancies(
     }
     if (!removed_one) break;
   }
+  if (result.aborted && opts.session)
+    opts.session->journal.mark_partial(
+        "redundancy removal stopped early: resource governor exhausted");
   return result;
 }
 

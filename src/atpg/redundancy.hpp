@@ -22,6 +22,10 @@
 
 namespace kms {
 
+namespace proof {
+class ProofSession;
+}  // namespace proof
+
 /// Scan order for the removal loop. The paper: "the remaining
 /// redundancies may be removed in any order without increasing the
 /// delay of the circuit" — the policies exist to demonstrate exactly
@@ -40,6 +44,10 @@ struct RedundancyRemovalOptions {
   /// conservatively kept (kUnknown is never a deletion licence), and
   /// the whole loop stops once the governor reports exhaustion.
   ResourceGovernor* governor = nullptr;
+  /// Optional proof session: every untestable verdict then carries a
+  /// DRAT certificate and every removal is journalled citing it. An
+  /// aborted run finalizes the journal as partial.
+  proof::ProofSession* session = nullptr;
 };
 
 struct RedundancyRemovalResult {

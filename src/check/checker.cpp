@@ -399,6 +399,32 @@ class Checker {
     }
   }
 
+  /// NL016: a live logic gate still fed by a constant gate — constant
+  /// propagation/sweep stopped short. Functionally harmless (hence a
+  /// warning), but it skews the gate counts and delay numbers every
+  /// downstream pass reports, and a redundancy-removal result that
+  /// leaves one behind did not finish its own cleanup.
+  void check_swept_constants() {
+    for (std::uint32_t i = 0; i < net_.gate_capacity() && !full(); ++i) {
+      const GateId g{i};
+      const Gate& gt = net_.gate(g);
+      if (gt.dead || !is_logic(gt.kind) || is_constant(gt.kind)) continue;
+      for (const ConnId c : gt.fanins) {
+        if (!live_conn(net_, c)) continue;
+        const GateId src = net_.conn(c).from;
+        if (!live_gate(net_, src) || !is_constant(net_.gate(src).kind))
+          continue;
+        add("NL016",
+            gate_label(net_, g) + " is driven by constant " +
+                gate_label(net_, src) + " via " +
+                str_format("conn %u", c.value()) +
+                "; run constant propagation and sweep",
+            g, c);
+        break;  // one finding per gate is enough to flag the miss
+      }
+    }
+  }
+
   /// NL014: duplicate interface names break BLIF round-trips (the writer
   /// uniquifies with suffixes, silently renaming ports).
   void check_names() {
@@ -445,6 +471,7 @@ Diagnostics NetworkChecker::run(const Network& net) const {
     ck.check_constants();
     ck.check_reachability();
     ck.check_names();
+    ck.check_swept_constants();
   }
   return std::move(ck).take();
 }

@@ -23,7 +23,7 @@
 namespace kms {
 
 struct CheckOptions {
-  /// Run warning-severity rules (NL011/NL013/NL014/NL015). Self-check
+  /// Run warning-severity rules (NL011/NL013/NL014/NL015/NL016). Self-check
   /// hooks and KMS checkpoints disable these: mid-pipeline networks
   /// legitimately hold orphan cones and idle constants until sweep().
   bool warnings = true;

@@ -48,6 +48,9 @@ const std::vector<RuleInfo>& all_rules() {
        "rename them"},
       {"NL015", Severity::kWarning, "unused-input",
        "a primary input should drive at least one live connection"},
+      {"NL016", Severity::kWarning, "unswept-constant",
+       "a live logic gate should not be driven by a constant gate "
+       "(constant propagation has not reached fixpoint)"},
       {"NL900", Severity::kError, "parse",
        "the input file must parse as BLIF (emitted by kmslint only)"},
   };

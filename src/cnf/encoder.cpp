@@ -63,6 +63,14 @@ void encode_gate(Solver& s, GateKind kind, Var out,
     case GateKind::kXnor: {
       // Chain through helper variables: t_i = t_{i-1} xor in_i.
       Lit acc = in[0];
+      if (in.size() == 1) {
+        // Single-bit parity: xor degenerates to buf, xnor to not. The
+        // chain below starts at i=1 and would leave o unconstrained.
+        const Lit t = (kind == GateKind::kXnor) ? ~o : o;
+        s.add_clause(~t, acc);
+        s.add_clause(t, ~acc);
+        return;
+      }
       for (std::size_t i = 1; i < in.size(); ++i) {
         const bool last = (i + 1 == in.size());
         Lit t;

@@ -6,6 +6,7 @@
 #include "src/check/checker.hpp"
 #include "src/check/hooks.hpp"
 #include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
 #include "src/timing/path.hpp"
 #include "src/timing/sta.hpp"
 
@@ -65,8 +66,11 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     if (checking) enforce_invariants(net, phase);
   };
   checkpoint("kms:input");
+  proof::ProofSession* const session = opts.session;
   stats.decomposed_complex = decompose_to_simple(net);
   checkpoint("kms:decompose_to_simple");
+  if (session && stats.decomposed_complex > 0)
+    session->journal.add_decompose(stats.decomposed_complex);
 
   stats.initial_gates = net.count_gates();
   stats.initial_topo_delay = topological_delay(net);
@@ -97,7 +101,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     if (!chosen) break;  // no IO-paths left at all
     Path path = std::move(*chosen);
 
-    Sensitizer sens(net, opts.mode, gov);
+    Sensitizer sens(net, opts.mode, gov, session);
     const SensitizeResult sres = sens.check(path);
     stats.sensitization_queries += sens.queries();
     // Only a *proved* kUnsat licenses the transformation (Theorem 7.2's
@@ -105,7 +109,12 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // kUnknown degrades the same way — treat the path as sensitizable
     // and fall through to plain removal rather than transform on an
     // unproved premise.
-    if (sres.verdict != sat::Result::kUnsat) break;
+    if (sres.verdict != sat::Result::kUnsat) {
+      if (session)
+        session->journal.add_path_giveup(
+            sres.verdict == sat::Result::kSat ? "sat" : "unknown");
+      break;
+    }
     KMS_LOG(kDebug) << "kms: transforming longest path (len=" << path.length
                     << "): " << format_path(net, path);
 
@@ -121,12 +130,15 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
         break;
       }
     }
+    const std::size_t dup_before = stats.duplicated_gates;
     Path pp =
         n_index >= 0
             ? duplicate_prefix(net, path, static_cast<std::size_t>(n_index),
                                &stats.duplicated_gates)
             : path;
     checkpoint("kms:duplicate_prefix");
+    if (session && stats.duplicated_gates > dup_before)
+      session->journal.add_duplicate(stats.duplicated_gates - dup_before);
 
     // Fig. 3 re-tests "If P' is not statically sensitizable" here. The
     // test above already established it: P is not sensitizable under
@@ -141,6 +153,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     const GateKind k0 = net.gate(g0).kind;
     const bool value = has_controlling_value(k0) ? controlling_value(k0)
                                                  : false;
+    if (session) session->journal.add_constant(pp.conns[0].value());
     net.set_conn_constant(pp.conns[0], value);
     propagate_constants(net);
     collapse_buffers(net);
@@ -154,6 +167,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   if (opts.remove_remaining) {
     RedundancyRemovalOptions removal = opts.removal;
     removal.governor = gov;
+    removal.session = session;
     const RedundancyRemovalResult r = remove_redundancies(net, removal);
     stats.redundancies_removed = r.removed;
     checkpoint("kms:remove_redundancies");

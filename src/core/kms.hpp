@@ -59,6 +59,12 @@ struct KmsOptions {
   /// iteration invariants), and an undecided fault is kept, never
   /// removed. The result is always an equivalent network.
   ResourceGovernor* governor = nullptr;
+
+  /// Optional proof session: every transformation (decomposition,
+  /// duplication, constant assertion, removal) is journalled, and every
+  /// UNSAT verdict that licenses one carries a DRAT certificate. A
+  /// degraded run finalizes the journal as partial. See src/proof/.
+  proof::ProofSession* session = nullptr;
 };
 
 struct KmsStats {

@@ -77,6 +77,11 @@ void Solver::detach_clause(CRef c) {
 }
 
 void Solver::remove_clause(CRef c) {
+  if (proof_) {
+    const Lit* lits = clause_lits(c);
+    proof_->on_delete(
+        std::vector<Lit>(lits, lits + header(c).size));
+  }
   detach_clause(c);
   header(c).reloced = 1;  // tombstone; arena space is not reclaimed
 }
@@ -85,6 +90,10 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   if (!ok_) return false;
   assert(decision_level() == 0);
   std::sort(lits.begin(), lits.end());
+  // Log the clause as given (only sorted), before root-level
+  // simplification: the certificate's formula must be what the caller
+  // stated, not the solver's derived form.
+  if (proof_) proof_->on_original(lits);
   // Strip duplicates, satisfied clauses, false literals.
   std::vector<Lit> out;
   Lit prev = Lit::from_index(-2);
@@ -354,6 +363,10 @@ Result Solver::search() {
       // assumptions; backtracking to that level and enqueueing is still
       // sound because analyze() produced a clause asserting at back_level.
       cancel_until(back_level);
+      // Every learned clause is a RUP consequence of the clause database
+      // alone (assumptions are decisions; they appear negated inside the
+      // clause, never as premises), so it is loggable unconditionally.
+      if (proof_) proof_->on_learn(learnt);
       if (learnt.size() == 1) {
         enqueue(learnt[0], kNullCRef);
       } else {
@@ -414,7 +427,17 @@ Result Solver::search() {
 }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
-  if (!ok_) return Result::kUnsat;
+  // Segment the proof per solve: the sink resets its conclusion state
+  // here, so a second query on a reused solver never inherits the
+  // previous query's UNSAT conclusion (its lemmas, being consequences of
+  // the clause database alone, legitimately carry over).
+  if (proof_) proof_->on_solve_begin(assumptions);
+  if (!ok_) {
+    // Root-level contradiction from add_clause: UNSAT regardless of the
+    // assumptions, and the recorded formula alone propagates to conflict.
+    if (proof_) proof_->on_solve_end(Result::kUnsat);
+    return Result::kUnsat;
+  }
   solve_conflicts_base_ = stats_.conflicts;
   charged_propagations_ = stats_.propagations;
   if (governor_) {
@@ -423,6 +446,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     // the caller sees kUnknown and must take its conservative fallback.
     if (governor_->inject_abort(q) || governor_->should_stop()) {
       governor_->note_unknown();
+      if (proof_) proof_->on_solve_end(Result::kUnknown);
       return Result::kUnknown;
     }
   }
@@ -439,6 +463,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     charged_propagations_ = stats_.propagations;
     if (r == Result::kUnknown) governor_->note_unknown();
   }
+  if (proof_) proof_->on_solve_end(r);
   return r;
 }
 

@@ -60,6 +60,28 @@ inline Value operator^(Value v, bool flip) {
 
 enum class Result { kSat, kUnsat, kUnknown };
 
+/// Observer for proof logging (DRAT). The solver reports every original
+/// clause it is given, every learned clause (each one a reverse-unit-
+/// propagation consequence of the clause database at that moment), every
+/// learned-clause deletion, and the begin/end of every solve() call.
+///
+/// The sink is deliberately a pure interface: the proof store and the
+/// certificate checker live in src/proof/ and share no code with the
+/// solver's propagation loop, so a solver bug cannot silently validate
+/// its own proofs.
+class ProofSink {
+ public:
+  virtual ~ProofSink() = default;
+  virtual void on_original(const std::vector<Lit>& clause) = 0;
+  virtual void on_learn(const std::vector<Lit>& clause) = 0;
+  virtual void on_delete(const std::vector<Lit>& clause) = 0;
+  /// A solve() begins under `assumptions`. Implementations must reset any
+  /// per-solve conclusion state here: a certificate extracted after this
+  /// point must never inherit the previous query's UNSAT conclusion.
+  virtual void on_solve_begin(const std::vector<Lit>& assumptions) = 0;
+  virtual void on_solve_end(Result result) = 0;
+};
+
 struct SolverStats {
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
@@ -108,6 +130,11 @@ class Solver {
   /// entry and at every conflict; exhaustion yields kUnknown. Ownership
   /// stays with the caller; pass nullptr to detach.
   void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+
+  /// Attach a DRAT proof sink (nullptr detaches). Must be attached
+  /// before the first add_clause for the emitted certificate's formula
+  /// to be complete. Ownership stays with the caller.
+  void set_proof(ProofSink* proof) { proof_ = proof; }
 
   const SolverStats& stats() const { return stats_; }
 
@@ -203,6 +230,7 @@ class Solver {
 
   std::int64_t conflict_budget_ = -1;
   ResourceGovernor* governor_ = nullptr;
+  ProofSink* proof_ = nullptr;
   std::uint64_t solve_conflicts_base_ = 0;   // stats_.conflicts at solve()
   std::uint64_t charged_propagations_ = 0;   // high-water mark of charges
   double max_learnts_ = 0;

@@ -4,15 +4,29 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/proof/drat.hpp"
+#include "src/proof/journal.hpp"
 #include "src/timing/sta.hpp"
 
 namespace kms {
 
 Sensitizer::Sensitizer(const Network& net, SensitizationMode mode,
-                       ResourceGovernor* governor)
-    : net_(net), mode_(mode), enc_(net, solver_), arrival_(compute_arrival(net)) {
+                       ResourceGovernor* governor, proof::ProofSession* session)
+    : net_(net),
+      mode_(mode),
+      session_(session),
+      arrival_(compute_arrival(net)) {
   if (governor) solver_.set_governor(governor);
+  if (session_) {
+    trace_ = std::make_unique<proof::DratTrace>();
+    solver_.set_proof(trace_.get());
+  }
+  // Encode only after the trace is listening: the certificate's formula
+  // must contain every clause the network contributed.
+  enc_.emplace(net_, solver_);
 }
+
+Sensitizer::~Sensitizer() = default;
 
 void Sensitizer::side_constraints(GateId g, ConnId entering, double event_time,
                                   std::vector<sat::Lit>* out) const {
@@ -39,7 +53,7 @@ void Sensitizer::side_constraints(GateId g, ConnId entering, double event_time,
           const double settle = arrival_[cn.from.value()] + cn.delay;
           if (!(settle < event_time - 1e-9)) continue;
         }
-        out->push_back(enc_.lit_of(cn.from, /*negated=*/!nc));
+        out->push_back(enc_->lit_of(cn.from, /*negated=*/!nc));
       }
       return;
     }
@@ -75,7 +89,17 @@ SensitizeResult Sensitizer::check(const Path& path) {
   }
   SensitizeResult out;
   out.verdict = solve(assumptions);
-  if (out.verdict == sat::Result::kSat) out.witness = enc_.model_inputs();
+  if (out.verdict == sat::Result::kSat) out.witness = enc_->model_inputs();
+  if (out.verdict == sat::Result::kUnsat && session_) {
+    if (auto cert = trace_->last_unsat_certificate()) {
+      out.proof = session_->add_certificate(std::move(*cert));
+      session_->journal.add_path_unsens(format_path(net_, path), out.proof);
+    } else {
+      // Should be unreachable (a concluded kUnsat always certifies);
+      // degrade rather than license a transformation without a proof.
+      out.verdict = sat::Result::kUnknown;
+    }
+  }
   return out;
 }
 

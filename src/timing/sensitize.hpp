@@ -18,6 +18,8 @@
 // no constraints; MUX gates must be decomposed first (Section VI).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -26,6 +28,11 @@
 #include "src/timing/path.hpp"
 
 namespace kms {
+
+namespace proof {
+class ProofSession;
+class DratTrace;
+}  // namespace proof
 
 enum class SensitizationMode { kStatic, kViability };
 
@@ -38,6 +45,9 @@ enum class SensitizationMode { kStatic, kViability };
 struct SensitizeResult {
   sat::Result verdict = sat::Result::kUnknown;
   std::optional<std::vector<bool>> witness;  ///< set iff verdict == kSat
+  /// Certificate id backing a kUnsat verdict when a proof session is
+  /// attached; -1 otherwise.
+  std::int64_t proof = -1;
 
   bool has_value() const { return witness.has_value(); }
   explicit operator bool() const { return witness.has_value(); }
@@ -46,8 +56,12 @@ struct SensitizeResult {
 
 class Sensitizer {
  public:
+  /// With a proof session, every kUnsat verdict from check() carries a
+  /// DRAT certificate and is journalled as an unsensitizable-path step.
   Sensitizer(const Network& net, SensitizationMode mode,
-             ResourceGovernor* governor = nullptr);
+             ResourceGovernor* governor = nullptr,
+             proof::ProofSession* session = nullptr);
+  ~Sensitizer();
 
   /// Decide the condition for `path`: kSat with a witnessing primary
   /// input assignment (in net.inputs() order), kUnsat, or kUnknown if
@@ -69,7 +83,7 @@ class Sensitizer {
   /// remembered in aborted() — callers pruning on "not satisfiable"
   /// must consult it before trusting the pruned result.
   bool satisfiable(const std::vector<sat::Lit>& assumptions);
-  std::vector<bool> model_inputs() const { return enc_.model_inputs(); }
+  std::vector<bool> model_inputs() const { return enc_->model_inputs(); }
 
   /// Number of SAT queries issued so far.
   std::size_t queries() const { return queries_; }
@@ -83,7 +97,12 @@ class Sensitizer {
   const Network& net_;
   SensitizationMode mode_;
   sat::Solver solver_;
-  CircuitEncoding enc_;
+  proof::ProofSession* session_ = nullptr;
+  std::unique_ptr<proof::DratTrace> trace_;  ///< attached before encoding
+  /// Deferred so the proof trace can be attached before the encoding's
+  /// clauses reach the solver (the certificate formula must be
+  /// complete). Always engaged after construction.
+  std::optional<CircuitEncoding> enc_;
   std::vector<double> arrival_;
   std::size_t queries_ = 0;
   bool aborted_ = false;

@@ -215,6 +215,30 @@ TEST_F(CheckTest, NL015_UnusedPrimaryInput) {
   EXPECT_EQ(diags.error_count(), 0u);
 }
 
+TEST_F(CheckTest, NL016_ConstantDrivenGateSurvivesSweep) {
+  Rig r;
+  // Reroute g's pin-1 fanin to a constant: constant propagation should
+  // have folded g, so the surviving constant-driven gate is flagged.
+  const GateId one = r.net.add_gate(GateKind::kConst1, {}, 0.0, "one");
+  r.net.reroute_source(r.net.gate(r.g).fanins[1], one);
+  const Diagnostics diags = run_checker(r.net);
+  EXPECT_TRUE(has_rule(diags, "NL016")) << diags.to_text();
+  EXPECT_EQ(diags.error_count(), 0u);  // a warning, not an error
+
+  // Warnings off (the enforce_invariants configuration): silent.
+  EXPECT_FALSE(has_rule(run_checker(r.net, /*warnings=*/false), "NL016"));
+  EXPECT_NO_THROW(enforce_invariants(r.net, "test"));
+}
+
+TEST_F(CheckTest, NL016_SilentOnConstantFeedingOnlyOutputs) {
+  // A constant driving a primary output directly is legitimate (sweep
+  // keeps it): NL016 targets *logic* gates with constant fanins.
+  Network net("const_po");
+  const GateId zero = net.add_gate(GateKind::kConst0, {}, 0.0, "zero");
+  net.add_output("f", zero);
+  EXPECT_FALSE(has_rule(run_checker(net), "NL016"));
+}
+
 TEST_F(CheckTest, WarningRulesCanBeDisabled) {
   Rig r;
   r.net.add_input("idle");

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/atpg/atpg.hpp"
 #include "src/atpg/fault.hpp"
 #include "src/atpg/redundancy.hpp"
@@ -17,7 +19,10 @@
 #include "src/core/kms.hpp"
 #include "src/gen/adders.hpp"
 #include "src/gen/random_logic.hpp"
+#include "src/netlist/blif.hpp"
 #include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
+#include "src/proof/verify.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace kms {
@@ -164,6 +169,99 @@ TEST_P(FaultInjectionScheduleTest, PreservesEquivalence) {
 
 INSTANTIATE_TEST_SUITE_P(Schedules, FaultInjectionScheduleTest,
                          ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(FaultInjectionTest, InjectedAbortNeverEmitsVacuousUnsatProof) {
+  // With every solve forced to abort, no ATPG query may conclude UNSAT —
+  // so a proof session collected over the run must contain no
+  // untestable-fault steps and no certificates, only unknown verdicts,
+  // and must finalize as partial. A vacuous UNSAT certificate slipping
+  // through here would let an aborted run "prove" a deletion.
+  Network net = carry_skip_adder(2, 2);
+  decompose_to_simple(net);
+  const auto faults = collapsed_faults(net);
+
+  ResourceGovernor gov;
+  gov.set_injector(FaultInjector::random(/*seed=*/7, /*abort_probability=*/1.0));
+  proof::ProofSession session;
+  Atpg atpg(net, &gov, &session);
+  for (const Fault& f : faults) {
+    const TestResult r = atpg.generate_test(f);
+    EXPECT_NE(r.outcome, TestOutcome::kUntestable)
+        << "aborted solve concluded untestable";
+    EXPECT_EQ(r.proof, -1) << "aborted solve carries a proof id";
+  }
+  EXPECT_TRUE(session.certificates().empty());
+  EXPECT_TRUE(session.journal.partial());
+  for (const proof::JournalStep& s : session.journal.steps())
+    EXPECT_EQ(s.kind, proof::JournalStep::Kind::kFaultUnknown);
+}
+
+TEST(FaultInjectionTest, DegradedRunYieldsPartialJournalThatStillVerifies) {
+  // A mid-run cancellation must mark the journal partial, and the steps
+  // the run *did* prove must still verify end to end.
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  proof::ProofSession session;
+  session.journal.set_model(net.name());
+  const std::string input_blif = write_blif_string(net);
+  session.journal.set_input_digest(proof::digest_bytes(input_blif));
+
+  ResourceGovernor gov;
+  gov.set_injector(
+      FaultInjector::random(/*seed=*/11, /*abort_probability=*/0.5,
+                            /*cancel_after_queries=*/8));
+  KmsOptions opts;
+  opts.governor = &gov;
+  opts.session = &session;
+  const KmsStats stats = kms_make_irredundant(net, opts);
+  ASSERT_TRUE(stats.degraded);
+
+  const std::string output_blif = write_blif_string(net);
+  session.journal.set_output_digest(proof::digest_bytes(output_blif));
+  EXPECT_TRUE(session.journal.partial());
+
+  const proof::VerifyReport rep =
+      proof::verify_session(session, input_blif, output_blif);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(rep.partial);
+
+  // And the partial marker round-trips: a journal that claims "end
+  // complete" over these degraded steps is rejected at parse time.
+  std::string text = session.journal.to_text();
+  const auto pos = text.rfind("end partial");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "end complete");
+  std::istringstream forged(text);
+  EXPECT_THROW(proof::TransformJournal::read(forged), std::runtime_error);
+}
+
+TEST(FaultInjectionTest, DeletionWithoutProofIdIsRejected) {
+  // A journal step claiming a deletion with no proof id (proof=-1, as an
+  // aborted query would leave it) must be refused by the verifier even
+  // when everything else about the session is pristine.
+  Network net("noop");
+  const GateId a = net.add_input("a");
+  net.add_output("f", net.add_gate(GateKind::kBuf, {a}));
+  const std::string blif = write_blif_string(net);
+
+  proof::ProofSession session;
+  session.journal.set_model(net.name());
+  session.journal.set_input_digest(proof::digest_bytes(blif));
+  session.journal.set_output_digest(proof::digest_bytes(blif));
+  session.journal.add_delete("g(and)/SA0", /*proof=*/-1);
+
+  const proof::VerifyReport rep = proof::verify_session(session, blif, blif);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("without a matching proven"), std::string::npos)
+      << rep.error;
+
+  // The same forgery must survive a text round-trip and still be
+  // rejected: "step delete" with no proof= field parses to proof=-1.
+  std::istringstream in(session.journal.to_text());
+  const proof::TransformJournal parsed = proof::TransformJournal::read(in);
+  ASSERT_EQ(parsed.steps().size(), 1u);
+  EXPECT_EQ(parsed.steps()[0].proof, -1);
+}
 
 TEST(FaultInjectionTest, UninjectedGovernorMatchesUngovernedResult) {
   // Sanity: a governor with no limits must not change the algorithm.

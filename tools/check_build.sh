@@ -18,3 +18,24 @@ ctest --preset checked -j "$(nproc)" "$@"
 # output even when someone passes a filter in "$@" that skips them.
 echo "== fault-injection property tests (checked preset) =="
 ctest --preset checked -R "FaultInjection" --output-on-failure
+
+# Certificate pipeline stage: run the whole proof surface (DRAT checker,
+# journal, session verification, encoder cross-check) under the
+# sanitizers, then certify a real run over every example netlist with the
+# instrumented binaries: kmscli emits journal+DRAT artifacts and
+# self-verifies (--certify), and the independent kmsproof re-audits the
+# artifact directory from disk. Any deletion without a verified UNSAT
+# certificate fails CI here.
+echo "== proof-labelled tests (checked preset) =="
+ctest --preset checked -L proof --output-on-failure
+echo "== certified pipeline over examples/*.blif (checked preset) =="
+BUILD_DIR=build-checked  # pinned by the preset's binaryDir
+CERT_DIR=$(mktemp -d)
+trap 'rm -rf "$CERT_DIR"' EXIT
+for blif in examples/*.blif; do
+  name=$(basename "$blif" .blif)
+  echo "-- certify: $name"
+  "$BUILD_DIR/tools/kmscli" irr "$blif" -o "$CERT_DIR/$name.out.blif" \
+    --certify --emit-proof "$CERT_DIR/$name"
+  "$BUILD_DIR/tools/kmsproof" "$CERT_DIR/$name"
+done

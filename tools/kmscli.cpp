@@ -15,6 +15,15 @@
 // the input and after each transform stage, printing diagnostics to
 // stderr; error-severity findings abort with exit code 2.
 //
+// Proof-carrying mode (irr only): --certify runs the whole pipeline
+// under a proof session — every UNSAT verdict that licenses a transform
+// is recorded as a DRAT certificate, every transform journalled — and
+// then verifies the run in-process with the independent checker
+// (src/proof/); a verification failure exits 2. --emit-proof <dir>
+// additionally (or instead) writes the artifact set (input.blif,
+// output.blif, journal.txt, q<N>.cnf/q<N>.drat) for offline checking
+// with `kmsproof <dir>`.
+//
 // Resource governance: --time-limit <sec> arms a wall-clock deadline and
 // --conflict-limit <n> a global SAT conflict budget; SIGINT requests a
 // graceful stop. All three degrade conservatively — an undecided fault
@@ -40,6 +49,8 @@
 #include "src/core/kms.hpp"
 #include "src/netlist/blif.hpp"
 #include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
+#include "src/proof/verify.hpp"
 #include "src/seq/seq_network.hpp"
 #include "src/timing/path.hpp"
 #include "src/timing/sensitize.hpp"
@@ -55,6 +66,8 @@ struct Args {
   std::string output;
   SensitizationMode mode = SensitizationMode::kStatic;
   bool check = false;
+  bool certify = false;   // verify the run in-process (irr only)
+  std::string proof_dir;  // --emit-proof: artifact directory (irr only)
   double time_limit = 0;            // seconds; 0 = unlimited
   std::int64_t conflict_limit = -1; // global SAT conflicts; -1 = unlimited
   ResourceGovernor* governor = nullptr;  // installed by main()
@@ -65,6 +78,7 @@ int usage() {
                "usage: kmscli <irr|audit|delay|stats> <in.blif> "
                "[-o out.blif] [--mode static|viability] [--check]\n"
                "              [--time-limit <sec>] [--conflict-limit <n>]\n"
+               "              [--certify] [--emit-proof <dir>]   (irr only)\n"
                "exit codes: 0 ok, 1 usage, 2 error, 3 degraded "
                "(limit/SIGINT; output still valid)\n");
   return 1;
@@ -89,6 +103,10 @@ bool parse_args(int argc, char** argv, Args* args) {
       }
     } else if (a == "--check") {
       args->check = true;
+    } else if (a == "--certify") {
+      args->certify = true;
+    } else if (a == "--emit-proof" && i + 1 < argc) {
+      args->proof_dir = argv[++i];
     } else if (a == "--time-limit" && i + 1 < argc) {
       char* end = nullptr;
       args->time_limit = std::strtod(argv[++i], &end);
@@ -236,13 +254,44 @@ int cmd_audit(const Args& args) {
 int cmd_irr(const Args& args) {
   BlifSequential model = load(args.input);
   check_stage(args, model.comb, "input");
+  const bool proving = args.certify || !args.proof_dir.empty();
+  proof::ProofSession session;
+  std::string proof_input;
+  if (proving) {
+    // The journal brackets the combinational core the pipeline actually
+    // transforms, serialized before any transform runs.
+    proof_input = write_blif_string(model.comb);
+    session.journal.set_model(model.comb.name());
+    session.journal.set_input_digest(proof::digest_bytes(proof_input));
+  }
   KmsOptions opts;
   opts.mode = args.mode;
   // --check also turns on the checkpoints between KMS loop phases.
   opts.check_invariants = args.check;
   opts.governor = args.governor;
+  opts.session = proving ? &session : nullptr;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
   check_stage(args, model.comb, "kms_make_irredundant");
+  if (proving) {
+    const std::string proof_output = write_blif_string(model.comb);
+    session.journal.set_output_digest(proof::digest_bytes(proof_output));
+    if (!args.proof_dir.empty())
+      proof::write_artifacts(session, args.proof_dir, proof_input,
+                             proof_output);
+    if (args.certify) {
+      const proof::VerifyReport rep =
+          proof::verify_session(session, proof_input, proof_output);
+      if (!rep) {
+        std::fprintf(stderr, "certification FAILED: %s\n", rep.error.c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "certified%s: %zu journal steps, %zu certificates, "
+                   "%zu deletions proof-backed\n",
+                   rep.partial ? " (partial run)" : "", rep.steps_checked,
+                   rep.certificates_checked, rep.deletions_verified);
+    }
+  }
   std::fprintf(stderr,
                "gates %zu -> %zu, delay %.3f -> %.3f (computed "
                "%.3f -> %.3f), %zu loop transforms, %zu removals\n",
