@@ -2,11 +2,26 @@
 // SAT ATPG speed and redundancy identification across the benchmark
 // suite — the engine Section VI's "remove remaining redundancies in any
 // order" leans on.
+//
+// Modes:
+//   bench_atpg                      audit table (fault counts, drop
+//                                   rates, solver throughput)
+//   bench_atpg --json <path>        seed-vs-incremental removal-engine
+//                                   comparison, written as
+//                                   kms-bench-atpg-v1 JSON (schema
+//                                   documented in DESIGN.md §11)
+//   bench_atpg --json <path> --quick
+//                                   same, smallest circuit only (the CI
+//                                   bench-smoke stage)
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/atpg/atpg.hpp"
 #include "src/atpg/fault_sim.hpp"
+#include "src/atpg/redundancy.hpp"
 #include "src/base/rng.hpp"
 #include "src/gen/adders.hpp"
 #include "src/gen/suite.hpp"
@@ -29,7 +44,7 @@ void audit(const std::string& name, Network net) {
     if (d) ++dropped;
 
   Atpg atpg(net);
-  std::size_t redundant = 0, aborted = 0;
+  std::size_t redundant = 0;
   bench::Timer t_sat;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (detected[i]) continue;
@@ -42,12 +57,9 @@ void audit(const std::string& name, Network net) {
               redundant, sim_secs, sat_secs,
               sat_calls > 0 ? static_cast<double>(sat_calls) / sat_secs
                             : 0.0);
-  (void)aborted;
 }
 
-}  // namespace
-
-int main() {
+int run_audit_table() {
   std::printf(
       "ATPG engine: random-pattern drop + exact SAT on survivors\n");
   bench::rule('=');
@@ -63,4 +75,133 @@ int main() {
     audit(spec.name, build_suite_circuit(spec));
   bench::rule();
   return 0;
+}
+
+// ---- seed-vs-incremental comparison (--json) ------------------------------
+
+struct EngineRun {
+  RedundancyRemovalResult r;
+  double seconds = 0.0;
+};
+
+EngineRun run_engine(const Network& net, bool incremental) {
+  Network copy = net.clone_compact();
+  RedundancyRemovalOptions opts;
+  opts.incremental = incremental;
+  // The comparison isolates exact-ATPG load: random-pattern pre-drop is
+  // off for both engines (it hides the query counts behind stimulus
+  // luck — with it on, small circuits sit at the one-UNSAT-per-removal
+  // floor for both engines). The incremental engine's witness dropping
+  // and cross-pass cache take over the drop role from targeted, not
+  // random, stimulus.
+  opts.use_fault_sim = false;
+  bench::Timer t;
+  EngineRun run;
+  run.r = remove_redundancies(copy, opts);
+  run.seconds = t.seconds();
+  return run;
+}
+
+void write_engine(std::FILE* out, const char* key, const EngineRun& run) {
+  const AtpgStats& a = run.r.atpg;
+  std::fprintf(
+      out,
+      "      \"%s\": {\"removed\": %zu, \"passes\": %zu, "
+      "\"sat_queries\": %zu, \"structural_shortcuts\": %zu, "
+      "\"sim_dropped\": %zu, \"witness_dropped\": %zu, "
+      "\"cache_hits\": %zu, \"cache_invalidated\": %zu, "
+      "\"unknown_queries\": %zu, \"aborted\": %s, "
+      "\"sat_conflicts\": %llu, \"cone_gates_avg\": %.2f, "
+      "\"max_cone_gates\": %llu, \"seconds\": %.6f}",
+      key, run.r.removed, run.r.passes, run.r.sat_queries,
+      run.r.structural_shortcuts, run.r.sim_dropped, run.r.witness_dropped,
+      run.r.cache_hits, run.r.cache_invalidated, run.r.unknown_queries,
+      run.r.aborted ? "true" : "false",
+      static_cast<unsigned long long>(a.sat_conflicts),
+      a.sat_solves > 0 ? static_cast<double>(a.cone_gates_encoded) /
+                             static_cast<double>(a.sat_solves)
+                       : 0.0,
+      static_cast<unsigned long long>(a.max_cone_gates), run.seconds);
+}
+
+int run_json(const std::string& path, bool quick) {
+  std::vector<std::pair<std::string, Network>> circuits;
+  circuits.emplace_back("csa_8_2", carry_skip_adder(8, 2));
+  if (!quick) {
+    circuits.emplace_back("csa_16_4", carry_skip_adder(16, 4));
+    circuits.emplace_back("rca_16", ripple_carry_adder(16));
+    for (const SuiteSpec& spec : benchmark_suite())
+      circuits.emplace_back(spec.name, build_suite_circuit(spec));
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "bench_atpg: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"kms-bench-atpg-v1\",\n");
+  std::fprintf(out, "  \"circuits\": [\n");
+  bool failed = false;
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    Network& net = circuits[c].second;
+    decompose_to_simple(net);
+    const std::size_t gates = net.count_gates();
+    const std::size_t faults = collapsed_faults(net).size();
+    std::fprintf(stderr, "bench_atpg: %s (%zu gates, %zu faults)\n",
+                 circuits[c].first.c_str(), gates, faults);
+    const EngineRun seed = run_engine(net, /*incremental=*/false);
+    const EngineRun inc = run_engine(net, /*incremental=*/true);
+    const bool match = seed.r.removed == inc.r.removed;
+    if (!match) failed = true;
+    const double ratio =
+        static_cast<double>(seed.r.sat_queries) /
+        static_cast<double>(inc.r.sat_queries > 0 ? inc.r.sat_queries : 1);
+    std::fprintf(out, "    {\"name\": \"%s\", \"gates\": %zu, "
+                      "\"faults\": %zu,\n",
+                 circuits[c].first.c_str(), gates, faults);
+    std::fprintf(out, "     \"engines\": {\n");
+    write_engine(out, "seed", seed);
+    std::fprintf(out, ",\n");
+    write_engine(out, "incremental", inc);
+    std::fprintf(out, "\n     },\n");
+    std::fprintf(out, "     \"removed_match\": %s, "
+                      "\"sat_query_ratio\": %.3f}%s\n",
+                 match ? "true" : "false", ratio,
+                 c + 1 < circuits.size() ? "," : "");
+    std::fprintf(stderr,
+                 "  seed: %zu removed, %zu sat queries, %.3fs | "
+                 "incremental: %zu removed, %zu sat queries, %.3fs "
+                 "(ratio %.2fx)%s\n",
+                 seed.r.removed, seed.r.sat_queries, seed.seconds,
+                 inc.r.removed, inc.r.sat_queries, inc.seconds, ratio,
+                 match ? "" : "  REMOVED-COUNT MISMATCH");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  if (failed) {
+    std::fprintf(stderr,
+                 "bench_atpg: FAILED — engines removed different counts\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_atpg [--json <path> [--quick]]\n");
+      return 1;
+    }
+  }
+  if (!json_path.empty()) return run_json(json_path, quick);
+  return run_audit_table();
 }

@@ -17,6 +17,7 @@
 #include "src/atpg/fault.hpp"
 #include "src/base/governor.hpp"
 #include "src/netlist/network.hpp"
+#include "src/sat/solver.hpp"
 
 namespace kms {
 
@@ -35,6 +36,21 @@ struct AtpgStats {
   /// Conflicts aggregated across every SAT solve, including aborted
   /// ones (an exhausted budget still did — and reports — its work).
   std::uint64_t sat_conflicts = 0;
+  /// Queries that actually reached the SAT solver. queries ==
+  /// sat_solves + structural_shortcuts.
+  std::uint64_t sat_solves = 0;
+  /// Untestable verdicts proved structurally (the fault cone reaches no
+  /// primary output), with no solver involved.
+  std::uint64_t structural_shortcuts = 0;
+  /// Gates encoded into CNF, summed over all SAT solves (good-circuit
+  /// support; the measure of the cone-of-influence restriction — the
+  /// whole-network encoding would contribute count_gates() per solve).
+  std::uint64_t cone_gates_encoded = 0;
+  /// Largest single-query support set.
+  std::uint64_t max_cone_gates = 0;
+
+  /// Fold `other` into this (used to aggregate per-pass engines).
+  void accumulate(const AtpgStats& other);
 };
 
 /// Three-valued ATPG verdict, the classic testable / untestable /
@@ -85,10 +101,28 @@ class Atpg {
   const AtpgStats& stats() const { return stats_; }
 
  private:
+  /// Stamp `cone_[g] = stamp_` for the forward closure of the fault
+  /// site and collect the primary outputs it reaches.
+  void mark_fault_cone(const Fault& fault);
+  /// Set `subset_[g]` for the transitive fanin of the stamped cone's
+  /// outputs plus `extra_root` — the fanin-closed encoding subset.
+  void mark_support(GateId extra_root);
+
   const Network& net_;
   ResourceGovernor* governor_ = nullptr;
   proof::ProofSession* session_ = nullptr;
   AtpgStats stats_;
+
+  // Per-query scratch, hoisted out of generate_test and reset by stamp
+  // comparison instead of reallocation: a removal pass issues thousands
+  // of queries against the same network and must not churn the
+  // allocator. Grown (never shrunk) to gate_capacity() on each query.
+  std::uint32_t stamp_ = 0;
+  std::vector<std::uint32_t> cone_;  ///< stamp: gate is in the fault cone
+  std::vector<bool> subset_;         ///< encoding support, as the mask
+  std::vector<sat::Var> faulty_;        ///< faulty-copy var per cone gate
+  std::vector<GateId> stack_;           ///< DFS worklist
+  std::vector<GateId> cone_outputs_;    ///< primary outputs in the cone
 };
 
 /// All *proved* untestable faults from the collapsed fault list.

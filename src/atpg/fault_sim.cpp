@@ -126,16 +126,38 @@ std::vector<std::uint64_t> FaultSimulator::detect_words(
 }
 
 std::vector<bool> FaultSimulator::detect_random(
-    const std::vector<Fault>& faults, std::size_t words, Rng& rng) {
+    const std::vector<Fault>& faults, std::size_t words, Rng& rng,
+    ResourceGovernor* governor, std::size_t* words_done) {
   std::vector<bool> detected(faults.size(), false);
   std::vector<std::uint64_t> pi(net_.inputs().size());
+  std::size_t done = 0;
   for (std::size_t w = 0; w < words; ++w) {
+    // The deadline the rest of the pipeline honors binds here too: a
+    // large word budget must not run past it. Stopping between words
+    // yields a partial-but-sound result (fewer pre-dropped faults).
+    if (governor && governor->should_stop()) break;
     for (auto& x : pi) x = rng.next_u64();
     const auto masks = detect_words(faults, pi);
     for (std::size_t i = 0; i < faults.size(); ++i)
       if (masks[i] != 0) detected[i] = true;
+    ++done;
   }
+  if (words_done) *words_done = done;
   return detected;
+}
+
+std::vector<std::uint64_t> witness_words(const std::vector<bool>& vector,
+                                         Rng& rng) {
+  std::vector<std::uint64_t> pi(vector.size());
+  for (std::size_t i = 0; i < vector.size(); ++i) {
+    const std::uint64_t base = vector[i] ? ~0ull : 0ull;
+    // Flip each of patterns 1..63 with probability 1/8 (AND of three
+    // uniform words); pattern 0 keeps the exact witness.
+    const std::uint64_t flips =
+        rng.next_u64() & rng.next_u64() & rng.next_u64() & ~1ull;
+    pi[i] = base ^ flips;
+  }
+  return pi;
 }
 
 double fault_coverage(const Network& net, const std::vector<Fault>& faults,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/atpg/fault.hpp"
+#include "src/base/governor.hpp"
 #include "src/base/rng.hpp"
 #include "src/netlist/network.hpp"
 
@@ -27,9 +28,15 @@ class FaultSimulator {
       const std::vector<std::uint64_t>& pi_words);
 
   /// Convenience: which of `faults` are detected by `words` sets of 64
-  /// random patterns each.
+  /// random patterns each. An optional governor is consulted between
+  /// words: on exhaustion the simulation stops early and the partial
+  /// detection set is returned (sound — every mark is a real detection;
+  /// an unsimulated word can only cost extra exact-ATPG effort later).
+  /// `words_done`, if non-null, receives the number of words simulated.
   std::vector<bool> detect_random(const std::vector<Fault>& faults,
-                                  std::size_t words, Rng& rng);
+                                  std::size_t words, Rng& rng,
+                                  ResourceGovernor* governor = nullptr,
+                                  std::size_t* words_done = nullptr);
 
  private:
   const Network& net_;
@@ -44,5 +51,14 @@ class FaultSimulator {
 /// full PI assignment). Used by the test-generation reports.
 double fault_coverage(const Network& net, const std::vector<Fault>& faults,
                       const std::vector<std::vector<bool>>& tests);
+
+/// Pack one test vector into a 64-pattern word set for detect_words:
+/// pattern 0 is `vector` exactly; patterns 1–63 are random perturbations
+/// of it (each input bit flipped with probability ~1/8). Used for
+/// SAT-witness fault dropping — the exact witness guarantees its own
+/// fault is detected, and the perturbed neighbours cheaply sweep up
+/// other faults in the same region of the input space.
+std::vector<std::uint64_t> witness_words(const std::vector<bool>& vector,
+                                         Rng& rng);
 
 }  // namespace kms

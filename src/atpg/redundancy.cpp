@@ -1,7 +1,11 @@
 #include "src/atpg/redundancy.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "src/atpg/atpg.hpp"
 #include "src/atpg/fault_sim.hpp"
@@ -9,19 +13,121 @@
 #include "src/proof/journal.hpp"
 
 namespace kms {
+namespace {
 
-void apply_redundancy_removal(Network& net, const Fault& fault) {
+/// Stable identity of a fault across network edits. GateId/ConnId are
+/// tombstoned, never reused, so (site, id, stuck) keys the same
+/// structural site for the whole run.
+std::uint64_t fault_key(const Fault& f) {
+  const std::uint64_t id = f.site == Fault::Site::kStem
+                               ? static_cast<std::uint64_t>(f.gate.value())
+                               : static_cast<std::uint64_t>(f.conn.value());
+  return (f.site == Fault::Site::kBranch ? 1ull << 63 : 0ull) |
+         (f.stuck ? 1ull << 62 : 0ull) | id;
+}
+
+/// Testable-fault cache: fault identity -> the fault's source gate at
+/// verdict time (the anchor the invalidation traversal tests).
+using TestableCache = std::unordered_map<std::uint64_t, GateId>;
+
+/// Drop every cached verdict whose fault region intersects the edited
+/// gates. A verdict for fault f depends only on the subgraph of gates
+/// that share an output path with f's source, so it survives an edit
+/// iff source(f) ∉ TFI(TFO(touched)). Both closures run over the
+/// *union* of the current connectivity and the trace's severed edges:
+/// the verdict was computed on the pre-edit structure, and the path
+/// connecting it to a touched gate may be exactly what the edit cut.
+/// Returns the number of entries invalidated.
+std::size_t invalidate_cache(TestableCache& cache, const Network& net,
+                             const TransformTrace& trace) {
+  if (cache.empty() || trace.empty()) return 0;
+  const std::uint32_t cap = net.gate_capacity();
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> sev_fwd,
+      sev_rev;
+  for (const auto& [from, to] : trace.severed) {
+    sev_fwd[from.value()].push_back(to.value());
+    sev_rev[to.value()].push_back(from.value());
+  }
+  std::vector<bool> fwd(cap, false);    // TFO(touched)
+  std::vector<bool> region(cap, false);  // TFI(TFO(touched))
+  std::vector<std::uint32_t> stack;
+  const auto push_fwd = [&](std::uint32_t v) {
+    if (v < cap && !fwd[v]) {
+      fwd[v] = true;
+      stack.push_back(v);
+    }
+  };
+  for (GateId g : trace.touched) push_fwd(g.value());
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    const Gate& gt = net.gate(GateId(v));
+    if (!gt.dead)
+      for (ConnId c : gt.fanouts)
+        if (!net.conn(c).dead) push_fwd(net.conn(c).to.value());
+    if (const auto it = sev_fwd.find(v); it != sev_fwd.end())
+      for (std::uint32_t t : it->second) push_fwd(t);
+  }
+  const auto push_rev = [&](std::uint32_t v) {
+    if (v < cap && !region[v]) {
+      region[v] = true;
+      stack.push_back(v);
+    }
+  };
+  for (std::uint32_t v = 0; v < cap; ++v)
+    if (fwd[v]) push_rev(v);
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    const Gate& gt = net.gate(GateId(v));
+    if (!gt.dead)
+      for (ConnId c : gt.fanins) push_rev(net.conn(c).from.value());
+    if (const auto it = sev_rev.find(v); it != sev_rev.end())
+      for (std::uint32_t f : it->second) push_rev(f);
+  }
+  std::size_t killed = 0;
+  for (auto it = cache.begin(); it != cache.end();) {
+    const std::uint32_t s = it->second.value();
+    if (s < cap && region[s]) {
+      it = cache.erase(it);
+      ++killed;
+    } else {
+      ++it;
+    }
+  }
+  return killed;
+}
+
+}  // namespace
+
+void apply_redundancy_removal(Network& net, const Fault& fault,
+                              TransformTrace* trace) {
   if (fault.site == Fault::Site::kStem) {
     if (net.gate(fault.gate).kind == GateKind::kInput) {
       // A primary input stays part of the interface; assert the stuck
       // value on its fanout wires instead of replacing the pin.
       auto fanouts = net.gate(fault.gate).fanouts;  // copy: we reroute
-      for (ConnId c : fanouts)
-        if (!net.conn(c).dead) net.set_conn_constant(c, fault.stuck);
+      for (ConnId c : fanouts) {
+        if (net.conn(c).dead) continue;
+        if (trace) {
+          trace->note_touch(net.conn(c).to);
+          trace->note_severed(fault.gate, net.conn(c).to);
+        }
+        net.set_conn_constant(c, fault.stuck);
+      }
     } else {
+      if (trace) {
+        trace->note_touch(fault.gate);
+        for (ConnId c : net.gate(fault.gate).fanins)
+          trace->note_severed(net.conn(c).from, fault.gate);
+      }
       net.convert_to_constant(fault.gate, fault.stuck);
     }
   } else {
+    if (trace) {
+      trace->note_touch(net.conn(fault.conn).to);
+      trace->note_severed(net.conn(fault.conn).from, net.conn(fault.conn).to);
+    }
     net.set_conn_constant(fault.conn, fault.stuck);
   }
 }
@@ -30,6 +136,9 @@ RedundancyRemovalResult remove_redundancies(
     Network& net, const RedundancyRemovalOptions& opts) {
   RedundancyRemovalResult result;
   Rng rng(opts.seed);
+  TestableCache testable;  // persists across passes (incremental engine)
+  using Clock = std::chrono::steady_clock;
+  using Seconds = std::chrono::duration<double>;
   for (;;) {
     if (opts.governor && opts.governor->should_stop()) {
       result.aborted = true;
@@ -38,9 +147,51 @@ RedundancyRemovalResult remove_redundancies(
     ++result.passes;
     auto faults = collapsed_faults(net);
     std::vector<bool> skip(faults.size(), false);
-    if (opts.use_fault_sim && !faults.empty() && !net.inputs().empty()) {
-      FaultSimulator sim(net);
-      skip = sim.detect_random(faults, opts.random_words, rng);
+    if (opts.incremental) {
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (testable.count(fault_key(faults[i]))) {
+          skip[i] = true;
+          ++result.cache_hits;
+        }
+      }
+    }
+    std::optional<FaultSimulator> sim;
+    if ((opts.use_fault_sim || opts.incremental) && !faults.empty() &&
+        !net.inputs().empty())
+      sim.emplace(net);
+    if (opts.use_fault_sim && sim) {
+      const auto t0 = Clock::now();
+      if (opts.incremental) {
+        // Simulate only the faults the cache did not already decide.
+        std::vector<Fault> pending;
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+          if (skip[i]) continue;
+          pending.push_back(faults[i]);
+          idx.push_back(i);
+        }
+        if (!pending.empty()) {
+          const std::vector<bool> detected = sim->detect_random(
+              pending, opts.random_words, rng, opts.governor);
+          for (std::size_t k = 0; k < pending.size(); ++k) {
+            if (!detected[k]) continue;
+            skip[idx[k]] = true;
+            ++result.sim_dropped;
+            // A simulated detection is a testability witness: cache it.
+            testable.emplace(fault_key(pending[k]),
+                             fault_source(net, pending[k]));
+          }
+        }
+      } else {
+        const std::vector<bool> detected =
+            sim->detect_random(faults, opts.random_words, rng, opts.governor);
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+          if (!detected[i] || skip[i]) continue;
+          skip[i] = true;
+          ++result.sim_dropped;
+        }
+      }
+      result.sim_seconds += Seconds(Clock::now() - t0).count();
     }
     // Scan order policy (the result is always a fully testable,
     // equivalent circuit; only the intermediate choices differ).
@@ -60,25 +211,73 @@ RedundancyRemovalResult remove_redundancies(
         result.aborted = true;
         break;
       }
-      ++result.sat_queries;
+      const auto t0 = Clock::now();
       const TestResult test = atpg.generate_test(faults[i]);
+      result.sat_seconds += Seconds(Clock::now() - t0).count();
       if (test.outcome == TestOutcome::kUnknown) {
-        // Aborted query: the fault might be testable; keep it.
+        // Aborted query: the fault might be testable; keep it (and
+        // never cache it — an abort is not a verdict).
         ++result.unknown_queries;
         continue;
       }
-      if (test.outcome == TestOutcome::kTestable) continue;
+      if (test.outcome == TestOutcome::kTestable) {
+        if (!opts.incremental) continue;
+        testable.emplace(fault_key(faults[i]), fault_source(net, faults[i]));
+        if (sim && test.vector) {
+          // SAT-witness dropping: replay the model (plus 63 random
+          // perturbations of it) against every undecided fault. Any
+          // detection is positive proof of testability — those faults
+          // never reach the solver. Only the undecided remainder is
+          // simulated; it shrinks with every verdict.
+          const auto t1 = Clock::now();
+          std::vector<Fault> pending;
+          std::vector<std::size_t> idx;
+          for (std::size_t j = 0; j < faults.size(); ++j) {
+            if (skip[j] || j == i) continue;
+            pending.push_back(faults[j]);
+            idx.push_back(j);
+          }
+          if (!pending.empty()) {
+            const std::vector<std::uint64_t> pi =
+                witness_words(*test.vector, rng);
+            const std::vector<std::uint64_t> masks =
+                sim->detect_words(pending, pi);
+            for (std::size_t k = 0; k < pending.size(); ++k) {
+              if (masks[k] == 0) continue;
+              skip[idx[k]] = true;
+              ++result.witness_dropped;
+              testable.emplace(fault_key(pending[k]),
+                               fault_source(net, pending[k]));
+              if (opts.session)
+                opts.session->journal.add_fault_sim_testable(
+                    format_fault(net, pending[k]));
+            }
+          }
+          result.sim_seconds += Seconds(Clock::now() - t1).count();
+        }
+        continue;
+      }
       if (opts.session)
         opts.session->journal.add_delete(format_fault(net, faults[i]),
                                          test.proof);
-      apply_redundancy_removal(net, faults[i]);
-      simplify(net);
+      TransformTrace trace;
+      TransformTrace* tr = opts.incremental ? &trace : nullptr;
+      apply_redundancy_removal(net, faults[i], tr);
+      simplify(net, tr);
       ++result.removed;
       removed_one = true;
+      if (opts.incremental)
+        result.cache_invalidated += invalidate_cache(testable, net, trace);
       break;  // structure changed: recompute the fault list
     }
+    result.atpg.accumulate(atpg.stats());
     if (!removed_one) break;
   }
+  // The sat_queries accounting fix: count solves the solver actually
+  // ran, not loop iterations — structural shortcuts are reported on
+  // their own counter.
+  result.sat_queries = result.atpg.sat_solves;
+  result.structural_shortcuts = result.atpg.structural_shortcuts;
   if (result.aborted && opts.session)
     opts.session->journal.mark_partial(
         "redundancy removal stopped early: resource governor exhausted");

@@ -12,13 +12,36 @@
 // delay behaviour on carry-skip adders motivates the whole paper: run
 // on a carry-skip adder directly, it deletes the skip chain and the
 // circuit slows down to ripple speed.
+//
+// Two engines share this entry point:
+//  * the seed engine (incremental = false): every pass rebuilds the
+//    fault list and re-queries every fault not pre-dropped by random
+//    simulation — the literal reading of "recompute after each removal";
+//  * the incremental engine (default): three mechanisms avoid SAT
+//    queries whose outcome is already known —
+//     1. SAT-witness fault dropping: each testable verdict's model is
+//        packed into a 64-pattern word (exact witness + 63 random
+//        perturbations) and fault-simulated against the whole remaining
+//        list, marking other faults testable without solver calls;
+//     2. a cross-pass fault-status cache: testable verdicts (from SAT,
+//        random simulation, or witness dropping) persist across removal
+//        passes keyed by fault identity (GateId/ConnId are stable);
+//     3. cone-scoped invalidation: a removal invalidates only cached
+//        verdicts whose fault region intersects the edited gates, which
+//        TransformTrace records (including severed old edges, so the
+//        traversal sees connectivity that the edit itself cut).
+//    Every skip is backed by positive evidence of testability, never by
+//    an assumption of untestability, so both engines remove the same
+//    redundancies in the same (forward) scan order.
 #pragma once
 
 #include <cstdint>
 
+#include "src/atpg/atpg.hpp"
 #include "src/atpg/fault.hpp"
 #include "src/base/governor.hpp"
 #include "src/netlist/network.hpp"
+#include "src/netlist/transform.hpp"
 
 namespace kms {
 
@@ -38,24 +61,47 @@ struct RedundancyRemovalOptions {
   bool use_fault_sim = true;
   /// Number of 64-pattern words of random stimulus for the pre-drop.
   std::size_t random_words = 8;
+  /// Incremental engine: SAT-witness fault dropping plus the cross-pass
+  /// testable-fault cache with cone-scoped invalidation. Off = the seed
+  /// engine, kept selectable as the baseline for equivalence tests and
+  /// the bench_atpg comparison.
+  bool incremental = true;
   RemovalOrder order = RemovalOrder::kForward;
   std::uint64_t seed = 0x5EEDull;
   /// Optional resource governor. A fault whose ATPG query it stops is
   /// conservatively kept (kUnknown is never a deletion licence), and
-  /// the whole loop stops once the governor reports exhaustion.
+  /// the whole loop stops once the governor reports exhaustion. The
+  /// random-simulation pre-drop honours it too, word by word.
   ResourceGovernor* governor = nullptr;
   /// Optional proof session: every untestable verdict then carries a
   /// DRAT certificate and every removal is journalled citing it. An
-  /// aborted run finalizes the journal as partial.
+  /// aborted run finalizes the journal as partial. Witness-dropped
+  /// faults are journalled as informational fault-sim-testable steps.
   proof::ProofSession* session = nullptr;
 };
 
 struct RedundancyRemovalResult {
-  std::size_t removed = 0;      ///< redundant faults asserted constant
-  std::size_t passes = 0;       ///< full fault-list scans
-  std::size_t sat_queries = 0;  ///< exact ATPG calls
+  std::size_t removed = 0;  ///< redundant faults asserted constant
+  std::size_t passes = 0;   ///< full fault-list scans
+  /// Exact ATPG queries that reached the SAT solver. Structural
+  /// shortcut verdicts (fault cone reaches no output) are counted in
+  /// `structural_shortcuts`, not here — no solve happened.
+  std::size_t sat_queries = 0;
+  std::size_t structural_shortcuts = 0;  ///< solver-free untestable verdicts
   std::size_t unknown_queries = 0;  ///< queries aborted by the governor
   bool aborted = false;  ///< loop stopped early on governor exhaustion
+
+  // Incremental-engine observability (all zero under the seed engine,
+  // except sim_dropped which both engines report).
+  std::size_t sim_dropped = 0;      ///< pre-dropped by random simulation
+  std::size_t witness_dropped = 0;  ///< dropped by SAT-witness replay
+  std::size_t cache_hits = 0;       ///< faults skipped via the cross-pass cache
+  std::size_t cache_invalidated = 0;  ///< cached verdicts killed by removals
+  double sim_seconds = 0.0;  ///< wall time in fault simulation
+  double sat_seconds = 0.0;  ///< wall time in exact ATPG (incl. shortcuts)
+  /// Aggregate ATPG-engine counters across all passes (cone sizes,
+  /// conflicts, solver-call split).
+  AtpgStats atpg;
 };
 
 /// Remove every single stuck-at redundancy from `net` (in first-found
@@ -68,6 +114,9 @@ RedundancyRemovalResult remove_redundancies(
 
 /// Assert the stuck value at one untestable fault's site. The caller
 /// must know the fault is untestable; the function only rewires.
-void apply_redundancy_removal(Network& net, const Fault& fault);
+/// `trace`, if non-null, records every modified gate and severed edge
+/// (for the incremental engine's cache invalidation).
+void apply_redundancy_removal(Network& net, const Fault& fault,
+                              TransformTrace* trace = nullptr);
 
 }  // namespace kms

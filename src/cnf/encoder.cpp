@@ -103,22 +103,43 @@ void encode_gate(Solver& s, GateKind kind, Var out,
 
 CircuitEncoding::CircuitEncoding(const Network& net, Solver& solver)
     : net_(net), solver_(solver), vars_(net.gate_capacity(), -1) {
-  for (GateId g : net.topo_order()) vars_[g.value()] = solver.new_var();
-  for (GateId g : net.topo_order()) {
-    const Gate& gt = net.gate(g);
+  encode(nullptr);
+}
+
+CircuitEncoding::CircuitEncoding(const Network& net, Solver& solver,
+                                 const std::vector<bool>& gate_subset)
+    : net_(net), solver_(solver), vars_(net.gate_capacity(), -1) {
+  assert(gate_subset.size() >= net.gate_capacity());
+  encode(&gate_subset);
+}
+
+void CircuitEncoding::encode(const std::vector<bool>* gate_subset) {
+  const auto order = net_.topo_order();
+  for (GateId g : order) {
+    if (gate_subset && !(*gate_subset)[g.value()]) continue;
+    vars_[g.value()] = solver_.new_var();
+    ++encoded_gates_;
+  }
+  for (GateId g : order) {
+    if (vars_[g.value()] < 0) continue;
+    const Gate& gt = net_.gate(g);
     if (gt.kind == GateKind::kInput) continue;
     std::vector<Lit> in;
     in.reserve(gt.fanins.size());
-    for (ConnId c : gt.fanins)
-      in.push_back(sat::mk_lit(vars_[net.conn(c).from.value()]));
-    encode_gate(solver, gt.kind, vars_[g.value()], in);
+    for (ConnId c : gt.fanins) {
+      const Var sv = vars_[net_.conn(c).from.value()];
+      assert(sv >= 0 && "gate subset must be fanin-closed");
+      in.push_back(sat::mk_lit(sv));
+    }
+    encode_gate(solver_, gt.kind, vars_[g.value()], in);
   }
 }
 
 std::vector<bool> CircuitEncoding::model_inputs() const {
   std::vector<bool> out;
   out.reserve(net_.inputs().size());
-  for (GateId i : net_.inputs()) out.push_back(solver_.model_bool(var_of(i)));
+  for (GateId i : net_.inputs())
+    out.push_back(encoded(i) && solver_.model_bool(var_of(i)));
   return out;
 }
 

@@ -29,22 +29,43 @@ class CircuitEncoding {
   /// Encode every live gate of `net` into `solver`.
   CircuitEncoding(const Network& net, sat::Solver& solver);
 
+  /// Encode only the gates `g` with `gate_subset[g.value()]` set — the
+  /// cone-of-influence restriction used by ATPG, where only the
+  /// transitive fanin of the fault cone's outputs matters. The subset
+  /// must be fanin-closed: every fanin source of an included non-input
+  /// gate must itself be included (asserted).
+  CircuitEncoding(const Network& net, sat::Solver& solver,
+                  const std::vector<bool>& gate_subset);
+
   sat::Var var_of(GateId g) const { return vars_[g.value()]; }
   sat::Lit lit_of(GateId g, bool negated = false) const {
     return sat::Lit(var_of(g), negated);
   }
 
+  /// True if `g` was part of the encoded subset (always true for the
+  /// whole-network constructor).
+  bool encoded(GateId g) const { return vars_[g.value()] >= 0; }
+
+  /// Number of gates actually encoded (= subset size, or every live
+  /// gate for the whole-network constructor).
+  std::size_t encoded_gates() const { return encoded_gates_; }
+
   const Network& network() const { return net_; }
   sat::Solver& solver() const { return solver_; }
 
   /// Extract the primary-input assignment from the solver's model
-  /// (after a kSat solve), in net.inputs() order.
+  /// (after a kSat solve), in net.inputs() order. Inputs outside the
+  /// encoded subset have no solver variable and read as false — any
+  /// value is valid there, since they cannot influence the encoded cone.
   std::vector<bool> model_inputs() const;
 
  private:
+  void encode(const std::vector<bool>* gate_subset);
+
   const Network& net_;
   sat::Solver& solver_;
   std::vector<sat::Var> vars_;
+  std::size_t encoded_gates_ = 0;
 };
 
 /// Add clauses constraining `out_var` to equal gate function `kind` over

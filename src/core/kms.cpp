@@ -170,6 +170,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     removal.session = session;
     const RedundancyRemovalResult r = remove_redundancies(net, removal);
     stats.redundancies_removed = r.removed;
+    stats.removal = r;
     checkpoint("kms:remove_redundancies");
   }
 

@@ -72,6 +72,10 @@ struct KmsStats {
   std::size_t duplicated_gates = 0;  ///< gates copied by the duplication step
   std::size_t constants_set = 0;     ///< first edges asserted constant
   std::size_t redundancies_removed = 0;  ///< final-phase removals
+  /// Full observability record of the final removal phase (query/drop/
+  /// cache counters, cone sizes, wall time); zero-valued when
+  /// remove_remaining was off.
+  RedundancyRemovalResult removal;
   std::size_t sensitization_queries = 0;
   std::size_t decomposed_complex = 0;
   bool path_cap_hit = false;       ///< sensitization query budget exhausted

@@ -343,15 +343,26 @@ bool simplify_gate(Network& net, GateId g) {
 
 }  // namespace
 
-std::size_t propagate_constants(Network& net) {
+std::size_t propagate_constants(Network& net, TransformTrace* trace) {
   std::size_t changed_total = 0;
+  std::vector<GateId> old_srcs;  // pre-edit fanin sources, for the trace
   bool changed = true;
   while (changed) {
     changed = false;
     for (GateId g : net.topo_order()) {
       const Gate& gt = net.gate(g);
       if (gt.dead || !is_logic(gt.kind) || is_constant(gt.kind)) continue;
+      if (trace) {
+        old_srcs.clear();
+        for (ConnId c : gt.fanins) old_srcs.push_back(net.conn(c).from);
+      }
       if (simplify_gate(net, g)) {
+        if (trace) {
+          // Every edit simplify_gate makes rewires g's fanins; record g
+          // and (conservatively) all of its pre-edit input edges.
+          trace->note_touch(g);
+          for (GateId s : old_srcs) trace->note_severed(s, g);
+        }
         ++changed_total;
         changed = true;
       }
@@ -361,7 +372,7 @@ std::size_t propagate_constants(Network& net) {
   return changed_total;
 }
 
-std::size_t collapse_buffers(Network& net) {
+std::size_t collapse_buffers(Network& net, TransformTrace* trace) {
   std::size_t removed = 0;
   for (GateId g : net.topo_order()) {
     Gate& gt = net.gate(g);
@@ -371,8 +382,13 @@ std::size_t collapse_buffers(Network& net) {
     const double through = net.conn(in).delay + gt.delay;
     auto fanouts = gt.fanouts;  // copy: reroute mutates the list
     for (ConnId c : fanouts) {
+      if (trace) trace->note_severed(g, net.conn(c).to);
       net.conn(c).delay += through;
       net.reroute_source(c, src);
+    }
+    if (trace) {
+      trace->note_touch(g);
+      trace->note_severed(src, g);
     }
     net.remove_gate(g);
     ++removed;
@@ -389,10 +405,10 @@ Network extract_output(const Network& net, std::size_t index) {
   return out;
 }
 
-void simplify(Network& net) {
+void simplify(Network& net, TransformTrace* trace) {
   for (;;) {
-    std::size_t work = propagate_constants(net);
-    work += collapse_buffers(net);
+    std::size_t work = propagate_constants(net, trace);
+    work += collapse_buffers(net, trace);
     work += net.sweep();
     if (work == 0) break;
   }

@@ -15,10 +15,30 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "src/netlist/network.hpp"
 
 namespace kms {
+
+/// Record of which gates a transformation pass modified, used by the
+/// incremental ATPG engine to invalidate only the fault verdicts whose
+/// cones intersect the changed region. `touched` lists every gate whose
+/// kind, fanin list or fanin sources changed (conservatively — listing
+/// an unchanged gate is harmless, omitting a changed one is not).
+/// `severed` lists edges (from, to) that existed before the pass but may
+/// not exist afterwards; the invalidation traversal walks the union of
+/// the current connectivity and these edges, so a verdict computed over
+/// the old structure is re-checked even where the path to it was cut.
+struct TransformTrace {
+  std::vector<GateId> touched;
+  std::vector<std::pair<GateId, GateId>> severed;
+
+  void note_touch(GateId g) { touched.push_back(g); }
+  void note_severed(GateId from, GateId to) { severed.emplace_back(from, to); }
+  bool empty() const { return touched.empty() && severed.empty(); }
+};
 
 /// Expand every XOR/XNOR/MUX into AND/OR/NOT/NOR gates. Path lengths are
 /// preserved exactly: the final gate of each expansion keeps the complex
@@ -32,15 +52,20 @@ std::size_t decompose_to_simple(Network& net);
 /// become zero-delay buffers (the wire convention); NAND/NOR become
 /// inverters that keep their gate delay. Returns the number of gates
 /// simplified. Does not sweep — call Network::sweep() afterwards.
-std::size_t propagate_constants(Network& net);
+/// `trace`, if non-null, records every modified gate and severed edge.
+std::size_t propagate_constants(Network& net, TransformTrace* trace = nullptr);
 
 /// Splice out every kBuf gate, folding its gate delay and input-connection
 /// delay into each outgoing connection so that all path lengths are
 /// unchanged. Returns the number of buffers removed.
-std::size_t collapse_buffers(Network& net);
+/// `trace`, if non-null, records every modified gate and severed edge.
+std::size_t collapse_buffers(Network& net, TransformTrace* trace = nullptr);
 
 /// propagate_constants + collapse_buffers + sweep to a fixpoint.
-void simplify(Network& net);
+/// `trace`, if non-null, records every modified gate and severed edge
+/// (sweep removals are not traced: a swept gate reaches no primary
+/// output, so no testability verdict ever depended on it).
+void simplify(Network& net, TransformTrace* trace = nullptr);
 
 /// Copy of `net` keeping only the primary output at `index` (all other
 /// output cones swept away, primary inputs kept). Used to carve out the

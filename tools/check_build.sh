@@ -39,3 +39,12 @@ for blif in examples/*.blif; do
     --certify --emit-proof "$CERT_DIR/$name"
   "$BUILD_DIR/tools/kmsproof" "$CERT_DIR/$name"
 done
+
+# Bench-smoke stage: run the seed-vs-incremental ATPG comparison on the
+# smallest circuit and validate the emitted BENCH_atpg.json against its
+# kms-bench-atpg-v1 schema. Fails on malformed or empty output, on a
+# removed-count mismatch between the engines, and on the incremental
+# engine issuing more SAT queries than the seed engine.
+echo "== bench smoke: bench_atpg --json (checked preset) =="
+"$BUILD_DIR/bench/bench_atpg" --json "$CERT_DIR/BENCH_atpg.json" --quick
+python3 tools/validate_bench_atpg.py "$CERT_DIR/BENCH_atpg.json"

@@ -244,6 +244,15 @@ int cmd_audit(const Args& args) {
               unresolved);
   std::printf("sat conflicts  : %llu\n",
               static_cast<unsigned long long>(atpg.stats().sat_conflicts));
+  const AtpgStats& as = atpg.stats();
+  std::printf("sat solves     : %llu (+%llu structural shortcuts)\n",
+              static_cast<unsigned long long>(as.sat_solves),
+              static_cast<unsigned long long>(as.structural_shortcuts));
+  if (as.sat_solves > 0)
+    std::printf("cone gates     : %.1f avg, %llu max per solve\n",
+                static_cast<double>(as.cone_gates_encoded) /
+                    static_cast<double>(as.sat_solves),
+                static_cast<unsigned long long>(as.max_cone_gates));
   std::printf("verdict        : %s\n",
               redundant != 0      ? "NOT fully testable"
               : unresolved != 0   ? "inconclusive (resource limit)"
@@ -299,6 +308,23 @@ int cmd_irr(const Args& args) {
                stats.initial_topo_delay, stats.final_topo_delay,
                stats.initial_computed_delay, stats.final_computed_delay,
                stats.constants_set, stats.redundancies_removed);
+  {
+    const RedundancyRemovalResult& r = stats.removal;
+    std::fprintf(
+        stderr,
+        "removal: %zu passes, %zu sat queries (+%zu structural), "
+        "%zu sim-dropped, %zu witness-dropped, %zu cache hits "
+        "(%zu invalidated), cone avg %.1f max %llu, "
+        "sim %.3fs sat %.3fs\n",
+        r.passes, r.sat_queries, r.structural_shortcuts, r.sim_dropped,
+        r.witness_dropped, r.cache_hits, r.cache_invalidated,
+        r.atpg.sat_solves > 0
+            ? static_cast<double>(r.atpg.cone_gates_encoded) /
+                  static_cast<double>(r.atpg.sat_solves)
+            : 0.0,
+        static_cast<unsigned long long>(r.atpg.max_cone_gates),
+        r.sim_seconds, r.sat_seconds);
+  }
   if (stats.degraded)
     std::fprintf(stderr,
                  "partial result (equivalent, conservatively degraded): "
