@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/cnf/encoder.hpp"
+#include "src/core/verdict.hpp"
 #include "src/proof/drat.hpp"
 #include "src/proof/journal.hpp"
 
@@ -24,6 +25,9 @@ void AtpgStats::accumulate(const AtpgStats& other) {
   cone_gates_encoded += other.cone_gates_encoded;
   max_cone_gates = std::max(max_cone_gates, other.max_cone_gates);
 }
+
+Atpg::Atpg(const Network& net, const RunContext& ctx)
+    : net_(net), governor_(ctx.governor), session_(ctx.session) {}
 
 Atpg::Atpg(const Network& net, ResourceGovernor* governor,
            proof::ProofSession* session)
@@ -87,7 +91,7 @@ TestResult Atpg::generate_test(const Fault& fault) {
   // untestable verdict must carry a checkable certificate, and the SAT
   // encoding below yields one even here — the detection clause comes out
   // empty, a root-level contradiction any DRAT checker confirms.
-  if (cone_outputs_.empty() && !session_) {
+  if (cone_outputs_.empty() && !session_ && !capture_) {
     ++stats_.untestable;
     ++stats_.structural_shortcuts;
     return TestResult{TestOutcome::kUntestable, std::nullopt};
@@ -102,7 +106,8 @@ TestResult Atpg::generate_test(const Fault& fault) {
 
   Solver solver;
   proof::DratTrace trace;
-  if (session_) solver.set_proof(&trace);
+  const bool proving = session_ != nullptr || capture_;
+  if (proving) solver.set_proof(&trace);
   if (governor_) solver.set_governor(governor_);
   CircuitEncoding good(net_, solver, subset_);
   ++stats_.sat_solves;
@@ -165,33 +170,43 @@ TestResult Atpg::generate_test(const Fault& fault) {
   // Conflicts of every solve count, aborted ones included: the work was
   // done whether or not it produced a verdict.
   stats_.sat_conflicts += solver.stats().conflicts;
-  if (r == sat::Result::kUnsat) {
-    ++stats_.untestable;
-    TestResult res{TestOutcome::kUntestable, std::nullopt};
-    if (session_) {
-      if (auto cert = trace.last_unsat_certificate()) {
-        res.proof = session_->add_certificate(std::move(*cert));
-        session_->journal.add_fault_untestable(format_fault(net_, fault),
-                                               res.proof);
-      } else {
+  TestResult res;
+  res.outcome = test_outcome_of(r);  // the one sat::Result mapping point
+  switch (res.outcome) {
+    case TestOutcome::kUntestable: {
+      if (!proving) break;
+      auto cert = trace.last_unsat_certificate();
+      if (!cert) {
         // A kUnsat verdict always certifies; treat its absence as an
         // aborted query rather than license an unproved deletion.
         res.outcome = TestOutcome::kUnknown;
-        session_->journal.add_fault_unknown(format_fault(net_, fault));
+        if (session_ && !capture_)
+          session_->journal.add_fault_unknown(format_fault(net_, fault));
+        break;
       }
+      if (capture_) {
+        res.certificate =
+            std::make_shared<proof::DratCertificate>(std::move(*cert));
+      } else {
+        res.proof = session_->add_certificate(std::move(*cert));
+        session_->journal.add_fault_untestable(format_fault(net_, fault),
+                                               res.proof);
+      }
+      break;
     }
-    return res;
+    case TestOutcome::kUnknown:
+      // Resource exhaustion or an injected abort: NOT a redundancy proof.
+      if (session_ && !capture_)
+        session_->journal.add_fault_unknown(format_fault(net_, fault));
+      break;
+    case TestOutcome::kTestable:
+      res.vector = good.model_inputs();
+      break;
   }
-  if (r == sat::Result::kUnknown) {
-    // Resource exhaustion or an injected abort: NOT a redundancy proof.
-    ++stats_.unknown_queries;
-    if (session_)
-      session_->journal.add_fault_unknown(format_fault(net_, fault));
-    return TestResult{TestOutcome::kUnknown, std::nullopt};
-  }
-  assert(r == sat::Result::kSat);
-  ++stats_.testable;
-  return TestResult{TestOutcome::kTestable, good.model_inputs()};
+  if (res.outcome == TestOutcome::kUntestable) ++stats_.untestable;
+  if (res.outcome == TestOutcome::kUnknown) ++stats_.unknown_queries;
+  if (res.outcome == TestOutcome::kTestable) ++stats_.testable;
+  return res;
 }
 
 std::vector<Fault> find_redundancies(const Network& net, std::size_t limit,

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/atpg/fault.hpp"
 #include "src/base/governor.hpp"
+#include "src/core/context.hpp"
+#include "src/core/verdict.hpp"
 #include "src/netlist/network.hpp"
 #include "src/sat/solver.hpp"
 
@@ -23,6 +26,7 @@ namespace kms {
 
 namespace proof {
 class ProofSession;
+struct DratCertificate;
 }  // namespace proof
 
 struct AtpgStats {
@@ -53,10 +57,8 @@ struct AtpgStats {
   void accumulate(const AtpgStats& other);
 };
 
-/// Three-valued ATPG verdict, the classic testable / untestable /
-/// aborted distinction of production test generators: only kUntestable
-/// proves redundancy; kUnknown means resources ran out first.
-enum class TestOutcome : std::uint8_t { kTestable, kUntestable, kUnknown };
+// TestOutcome lives in src/core/verdict.hpp (included above) together
+// with the one mapping between the library's three-valued domains.
 
 /// Result of one test-generation query. Converts like the optional it
 /// carries ("a test vector exists") so exact-mode callers read
@@ -68,6 +70,12 @@ struct TestResult {
   /// Certificate id in the proof session backing a kUntestable verdict;
   /// -1 when no session was attached (or the verdict needs no proof).
   std::int64_t proof = -1;
+  /// Under proof *capture* (speculative parallel classification), a
+  /// kUntestable verdict carries its DRAT certificate here instead of
+  /// registering it with a session: whether the verdict is ever
+  /// journalled is the coordinator's commit decision, made later and in
+  /// canonical order. Null otherwise.
+  std::shared_ptr<proof::DratCertificate> certificate;
 
   bool has_value() const { return vector.has_value(); }
   explicit operator bool() const { return vector.has_value(); }
@@ -78,14 +86,30 @@ struct TestResult {
 class Atpg {
  public:
   /// The network must stay structurally unchanged while tests are being
-  /// generated (take a fresh Atpg after every network edit). An optional
-  /// governor bounds every SAT solve; exhaustion yields kUnknown. With a
-  /// proof session attached, every kUntestable verdict carries a DRAT
-  /// certificate (the structural-shortcut path is bypassed so that even
-  /// faults whose cone misses every output get one) and verdicts are
-  /// journalled.
+  /// generated (take a fresh Atpg after every network edit). The
+  /// context's governor (optional) bounds every SAT solve; exhaustion
+  /// yields kUnknown. With the context's proof session attached, every
+  /// kUntestable verdict carries a DRAT certificate (the structural-
+  /// shortcut path is bypassed so that even faults whose cone misses
+  /// every output get one) and verdicts are journalled. The context's
+  /// `jobs` field is ignored — one Atpg is always single-threaded;
+  /// parallel engines build one per worker.
+  Atpg(const Network& net, const RunContext& ctx);
+
+  /// Deprecated raw-pointer form; forwards to the RunContext overload.
   explicit Atpg(const Network& net, ResourceGovernor* governor = nullptr,
                 proof::ProofSession* session = nullptr);
+
+  /// Proof-capture mode, for speculative classification by parallel
+  /// workers: generate_test records each kUntestable verdict's DRAT
+  /// certificate into TestResult::certificate and journals nothing —
+  /// the coordinator registers and journals only *committed* verdicts,
+  /// in commit order. Mutually exclusive with an attached session (the
+  /// session is ignored while capture is on). As under a session, the
+  /// structural shortcut is bypassed so every untestable verdict is
+  /// certifiable, and a kUnsat with no extractable certificate degrades
+  /// to kUnknown rather than licensing an unproved deletion.
+  void set_proof_capture(bool on) { capture_ = on; }
 
   /// Decide testability of the fault: kTestable with a test vector (PI
   /// assignment, in net.inputs() order), kUntestable (the fault site is
@@ -111,6 +135,7 @@ class Atpg {
   const Network& net_;
   ResourceGovernor* governor_ = nullptr;
   proof::ProofSession* session_ = nullptr;
+  bool capture_ = false;  ///< see set_proof_capture
   AtpgStats stats_;
 
   // Per-query scratch, hoisted out of generate_test and reset by stamp

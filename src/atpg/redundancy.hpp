@@ -33,6 +33,18 @@
 //    Every skip is backed by positive evidence of testability, never by
 //    an assumption of untestability, so both engines remove the same
 //    redundancies in the same (forward) scan order.
+//
+// With context.jobs > 1 either engine classifies faults on a worker
+// pool: per pass, workers speculatively classify faults (each with a
+// private Atpg, SAT solver and cone encoding) against the frozen
+// network while the coordinator holds all edits; the coordinator then
+// commits the *scan-order-first* untestable verdict exactly as the
+// sequential scan would have, re-queues every speculative verdict whose
+// fault region intersects the committed edit, and recomputes the fault
+// list. Because SAT verdicts are exact and skips only ever mark
+// genuinely testable faults, the removed-fault set — and therefore the
+// final network — is bit-identical to the sequential engine's at any
+// worker count. See DESIGN.md §12 for the determinism argument.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +52,7 @@
 #include "src/atpg/atpg.hpp"
 #include "src/atpg/fault.hpp"
 #include "src/base/governor.hpp"
+#include "src/core/context.hpp"
 #include "src/netlist/network.hpp"
 #include "src/netlist/transform.hpp"
 
@@ -68,16 +81,49 @@ struct RedundancyRemovalOptions {
   bool incremental = true;
   RemovalOrder order = RemovalOrder::kForward;
   std::uint64_t seed = 0x5EEDull;
-  /// Optional resource governor. A fault whose ATPG query it stops is
-  /// conservatively kept (kUnknown is never a deletion licence), and
-  /// the whole loop stops once the governor reports exhaustion. The
-  /// random-simulation pre-drop honours it too, word by word.
+
+  /// Execution context of the run: resource governor (a fault whose
+  /// ATPG query it stops is conservatively kept — kUnknown is never a
+  /// deletion licence — and the loop stops on exhaustion; the random-
+  /// simulation pre-drop honours it word by word), proof session (every
+  /// untestable verdict carries a DRAT certificate and every removal is
+  /// journalled citing it, in commit order; witness-dropped faults are
+  /// journalled as informational fault-sim-testable steps; an aborted
+  /// run finalizes the journal as partial), and the worker count:
+  /// context.jobs == 1 runs the sequential engines unchanged; > 1 (or 0
+  /// = hardware concurrency) runs fault classification on that many
+  /// workers with the deterministic commit protocol, whose removed-
+  /// fault set is bit-identical to the sequential engine's.
+  RunContext context;
+
+  /// Deprecated: set context.governor instead. Honoured only when
+  /// context.governor is null (see run_context()).
   ResourceGovernor* governor = nullptr;
-  /// Optional proof session: every untestable verdict then carries a
-  /// DRAT certificate and every removal is journalled citing it. An
-  /// aborted run finalizes the journal as partial. Witness-dropped
-  /// faults are journalled as informational fault-sim-testable steps.
+  /// Deprecated: set context.session instead. Honoured only when
+  /// context.session is null.
   proof::ProofSession* session = nullptr;
+
+  /// The effective context: `context` with null governor/session filled
+  /// in from the deprecated raw fields. Every consumer resolves through
+  /// this, so both spellings keep working for one release.
+  RunContext run_context() const {
+    return context.with_legacy(governor, session);
+  }
+};
+
+/// Pass-local counters owned by one classification worker. Workers
+/// mutate only their own instance — never the shared result — and the
+/// coordinator folds each into RedundancyRemovalResult::merge_worker()
+/// at the pass barrier: the single stats merge point, so no counter is
+/// ever incremented racily in place. The sequential engine routes its
+/// per-pass counters through the same path (a one-worker merge).
+struct RemovalWorkerStats {
+  AtpgStats atpg;
+  std::size_t witness_dropped = 0;
+  std::size_t sim_dropped = 0;
+  std::size_t unknown_queries = 0;
+  double sim_seconds = 0.0;
+  double sat_seconds = 0.0;
 };
 
 struct RedundancyRemovalResult {
@@ -97,11 +143,18 @@ struct RedundancyRemovalResult {
   std::size_t witness_dropped = 0;  ///< dropped by SAT-witness replay
   std::size_t cache_hits = 0;       ///< faults skipped via the cross-pass cache
   std::size_t cache_invalidated = 0;  ///< cached verdicts killed by removals
-  double sim_seconds = 0.0;  ///< wall time in fault simulation
-  double sat_seconds = 0.0;  ///< wall time in exact ATPG (incl. shortcuts)
-  /// Aggregate ATPG-engine counters across all passes (cone sizes,
-  /// conflicts, solver-call split).
+  /// Time in fault simulation / exact ATPG (incl. shortcuts). Under a
+  /// parallel run these sum per-worker time and so can exceed the
+  /// wall clock — they measure work, not latency.
+  double sim_seconds = 0.0;
+  double sat_seconds = 0.0;
+  /// Aggregate ATPG-engine counters across all passes and workers (cone
+  /// sizes, conflicts, solver-call split).
   AtpgStats atpg;
+
+  /// Fold one worker's pass-local counters in. The only place worker
+  /// observations reach this struct.
+  void merge_worker(const RemovalWorkerStats& w);
 };
 
 /// Remove every single stuck-at redundancy from `net` (in first-found

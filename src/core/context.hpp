@@ -1,0 +1,80 @@
+// RunContext — the execution context of one bounded pipeline run.
+//
+// Before this header existed the public API threaded three orthogonal
+// side-channels (the resource governor, the proof session and the
+// invariant-check flag) as raw fields through KmsOptions,
+// RedundancyRemovalOptions and Atpg's constructor, and every new
+// cross-cutting concern meant touching all three again. Parallelism
+// forces the execution context to be explicit anyway — a worker needs
+// to know which governor to poll, which proof sink its certificates
+// eventually serialize into, and how many siblings it has — so the
+// bundle is now one value type handed through the whole stack:
+//
+//   RunContext ctx;
+//   ctx.governor = &governor;      // shared deadline / budgets / SIGINT
+//   ctx.session = &session;        // DRAT certificates + journal
+//   ctx.check_invariants = true;   // src/check/ phase checkpoints
+//   ctx.jobs = 0;                  // 0 = one worker per hardware thread
+//   KmsOptions opts;
+//   opts.context = ctx;
+//
+// The old raw-pointer fields on the option structs survive one release
+// as deprecated forwarding members (resolution rules documented at each
+// struct); new code should set `context` only.
+//
+// Header-only on purpose: lower layers (src/atpg/) accept a
+// `const RunContext&` without linking against kms_core.
+#pragma once
+
+#include <thread>
+
+namespace kms {
+
+class ResourceGovernor;
+
+namespace proof {
+class ProofSession;
+}  // namespace proof
+
+struct RunContext {
+  /// Shared wall-clock deadline, global conflict/propagation budgets and
+  /// cooperative interrupt for every SAT solve of the run. All its
+  /// methods are thread-safe; one governor spans all workers.
+  ResourceGovernor* governor = nullptr;
+
+  /// Proof session: every UNSAT verdict that licenses a transform
+  /// carries a DRAT certificate and every transform is journalled. The
+  /// session itself is not thread-safe — parallel engines capture
+  /// certificates per worker and serialize them into the session in
+  /// commit order (see src/atpg/redundancy.cpp).
+  proof::ProofSession* session = nullptr;
+
+  /// Run the netlist invariant checker between pipeline phases and
+  /// throw CheckFailure on a violation.
+  bool check_invariants = false;
+
+  /// Worker count for fault-level parallel phases. 1 (the default)
+  /// preserves the sequential engines exactly; 0 means one worker per
+  /// hardware thread; N > 1 pins the count.
+  unsigned jobs = 1;
+
+  /// `jobs` with 0 resolved to the hardware concurrency (and a paranoid
+  /// floor of 1 when the runtime reports nothing).
+  unsigned effective_jobs() const {
+    if (jobs != 0) return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Convenience used by option-struct resolution: keep `this` unless
+  /// the legacy raw fields carry something the context does not.
+  RunContext with_legacy(ResourceGovernor* legacy_governor,
+                         proof::ProofSession* legacy_session) const {
+    RunContext out = *this;
+    if (out.governor == nullptr) out.governor = legacy_governor;
+    if (out.session == nullptr) out.session = legacy_session;
+    return out;
+  }
+};
+
+}  // namespace kms

@@ -5,6 +5,7 @@
 #include "src/base/log.hpp"
 #include "src/check/checker.hpp"
 #include "src/check/hooks.hpp"
+#include "src/core/verdict.hpp"
 #include "src/netlist/transform.hpp"
 #include "src/proof/journal.hpp"
 #include "src/timing/path.hpp"
@@ -55,18 +56,19 @@ Path duplicate_prefix(Network& net, const Path& p, std::size_t n_index,
 
 KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   KmsStats stats;
-  ResourceGovernor* const gov = opts.governor;
+  const RunContext ctx = opts.run_context();
+  ResourceGovernor* const gov = ctx.governor;
   // Diff the governor's counters so a reused governor (one bounding a
   // whole CLI run) attributes only this call's work to these stats.
   const GovernorReport gov_base = gov ? gov->report() : GovernorReport{};
   // Checkpoints between loop phases: catch an invariant violation at the
   // phase that introduced it instead of three transforms later.
-  const bool checking = opts.check_invariants || invariant_checks_enabled();
+  const bool checking = ctx.check_invariants || invariant_checks_enabled();
   const auto checkpoint = [&](const char* phase) {
     if (checking) enforce_invariants(net, phase);
   };
   checkpoint("kms:input");
-  proof::ProofSession* const session = opts.session;
+  proof::ProofSession* const session = ctx.session;
   stats.decomposed_complex = decompose_to_simple(net);
   checkpoint("kms:decompose_to_simple");
   if (session && stats.decomposed_complex > 0)
@@ -111,8 +113,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // unproved premise.
     if (sres.verdict != sat::Result::kUnsat) {
       if (session)
-        session->journal.add_path_giveup(
-            sres.verdict == sat::Result::kSat ? "sat" : "unknown");
+        session->journal.add_path_giveup(verdict_name(sres.verdict));
       break;
     }
     KMS_LOG(kDebug) << "kms: transforming longest path (len=" << path.length
@@ -166,8 +167,13 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   stats.iteration_cap_hit = stats.iterations >= opts.max_iterations;
   if (opts.remove_remaining) {
     RedundancyRemovalOptions removal = opts.removal;
-    removal.governor = gov;
-    removal.session = session;
+    // The run's context wins over whatever the nested options carried:
+    // one knob configures governor, session, and worker count for the
+    // whole call (the loop phases above are sequential by design — the
+    // transform steps are a strict dependency chain).
+    removal.context = ctx;
+    removal.governor = nullptr;
+    removal.session = nullptr;
     const RedundancyRemovalResult r = remove_redundancies(net, removal);
     stats.redundancies_removed = r.removed;
     stats.removal = r;

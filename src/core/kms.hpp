@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/atpg/redundancy.hpp"
+#include "src/core/context.hpp"
 #include "src/netlist/network.hpp"
 #include "src/timing/sensitize.hpp"
 
@@ -45,26 +46,47 @@ struct KmsOptions {
   /// Run the final removal phase (disable to study the loop alone).
   bool remove_remaining = true;
 
-  /// Run the netlist invariant checker (src/check/) between loop phases
-  /// and throw CheckFailure on a violation. Also enabled globally by the
-  /// KMS_CHECK_INVARIANTS build option / environment toggle.
+  /// Execution context of the run, shared by every phase:
+  ///  * governor — shared wall-clock deadline, global conflict/
+  ///    propagation budgets and cooperative interrupt across every SAT
+  ///    solve. On exhaustion each phase degrades in its conservative
+  ///    direction — an undecided path counts as sensitizable (the loop
+  ///    exits into plain removal; stopping at any iteration is safe
+  ///    because Theorems 7.1/7.2 are per-iteration invariants), and an
+  ///    undecided fault is kept, never removed. The result is always an
+  ///    equivalent network.
+  ///  * session — every transformation (decomposition, duplication,
+  ///    constant assertion, removal) is journalled, and every UNSAT
+  ///    verdict that licenses one carries a DRAT certificate. A
+  ///    degraded run finalizes the journal as partial. See src/proof/.
+  ///  * check_invariants — run the netlist invariant checker
+  ///    (src/check/) between loop phases and throw CheckFailure on a
+  ///    violation. Also enabled globally by the KMS_CHECK_INVARIANTS
+  ///    build option / environment toggle.
+  ///  * jobs — worker count for the final removal phase (the loop
+  ///    phases are sequential); removal.context.jobs is overridden by
+  ///    this so one knob configures the whole run.
+  RunContext context;
+
+  /// Deprecated: set context.check_invariants instead. ORed with it for
+  /// one release.
   bool check_invariants = false;
 
-  /// Optional resource governor: shared wall-clock deadline, global
-  /// conflict/propagation budgets and cooperative interrupt across
-  /// every SAT solve of the run. On exhaustion each phase degrades in
-  /// its conservative direction — an undecided path counts as
-  /// sensitizable (the loop exits into plain removal; stopping the loop
-  /// at any iteration is safe because Theorems 7.1/7.2 are per-
-  /// iteration invariants), and an undecided fault is kept, never
-  /// removed. The result is always an equivalent network.
+  /// Deprecated: set context.governor instead. Honoured only when
+  /// context.governor is null.
   ResourceGovernor* governor = nullptr;
 
-  /// Optional proof session: every transformation (decomposition,
-  /// duplication, constant assertion, removal) is journalled, and every
-  /// UNSAT verdict that licenses one carries a DRAT certificate. A
-  /// degraded run finalizes the journal as partial. See src/proof/.
+  /// Deprecated: set context.session instead. Honoured only when
+  /// context.session is null.
   proof::ProofSession* session = nullptr;
+
+  /// The effective context: `context` with the deprecated raw fields
+  /// folded in. Every consumer resolves through this.
+  RunContext run_context() const {
+    RunContext ctx = context.with_legacy(governor, session);
+    ctx.check_invariants = ctx.check_invariants || check_invariants;
+    return ctx;
+  }
 };
 
 struct KmsStats {

@@ -1,0 +1,97 @@
+// One mapping between the library's three-valued verdict domains.
+//
+// The pipeline speaks three isomorphic three-valued languages:
+//
+//   solver   sat::Result   kSat        kUnsat        kUnknown
+//   ATPG     TestOutcome   kTestable   kUntestable   kUnknown
+//   paths    SensitizeResult.verdict (sat::Result, kSat = sensitizable)
+//
+// and every consumer used to hand-roll its own switch to cross between
+// them — with the conservative-degradation rule ("kUnknown licenses
+// nothing") re-stated at each site. This header is the single place the
+// mapping lives; the exhaustive table test (tests/verdict_test.cpp)
+// pins every cell.
+//
+// Header-only so lower layers use it without linking kms_core.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sat/solver.hpp"
+
+namespace kms {
+
+/// Three-valued ATPG verdict, the classic testable / untestable /
+/// aborted distinction of production test generators: only kUntestable
+/// proves redundancy; kUnknown means resources ran out first. Defined
+/// here (not in src/atpg/) so every layer that crosses verdict domains
+/// shares one vocabulary.
+enum class TestOutcome : std::uint8_t { kTestable, kUntestable, kUnknown };
+
+/// SAT answer of an ATPG query → test outcome. SAT means a test vector
+/// exists; UNSAT proves the fault untestable (the site is redundant);
+/// an aborted solve decides nothing.
+constexpr TestOutcome test_outcome_of(sat::Result r) {
+  switch (r) {
+    case sat::Result::kSat:
+      return TestOutcome::kTestable;
+    case sat::Result::kUnsat:
+      return TestOutcome::kUntestable;
+    case sat::Result::kUnknown:
+      break;
+  }
+  return TestOutcome::kUnknown;
+}
+
+/// Inverse of test_outcome_of (the domains are isomorphic).
+constexpr sat::Result sat_result_of(TestOutcome o) {
+  switch (o) {
+    case TestOutcome::kTestable:
+      return sat::Result::kSat;
+    case TestOutcome::kUntestable:
+      return sat::Result::kUnsat;
+    case TestOutcome::kUnknown:
+      break;
+  }
+  return sat::Result::kUnknown;
+}
+
+/// Only a concluded solve is evidence; kUnknown never licenses a
+/// transformation, a deletion, or a pruned search branch.
+constexpr bool is_decided(sat::Result r) { return r != sat::Result::kUnknown; }
+constexpr bool is_decided(TestOutcome o) { return o != TestOutcome::kUnknown; }
+
+/// The single deletion licence: an exact UNSAT / untestable verdict.
+constexpr bool proves_untestable(sat::Result r) {
+  return r == sat::Result::kUnsat;
+}
+constexpr bool proves_untestable(TestOutcome o) {
+  return o == TestOutcome::kUntestable;
+}
+
+/// Stable lower-case names for reports and journals.
+constexpr const char* verdict_name(sat::Result r) {
+  switch (r) {
+    case sat::Result::kSat:
+      return "sat";
+    case sat::Result::kUnsat:
+      return "unsat";
+    case sat::Result::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+constexpr const char* verdict_name(TestOutcome o) {
+  switch (o) {
+    case TestOutcome::kTestable:
+      return "testable";
+    case TestOutcome::kUntestable:
+      return "untestable";
+    case TestOutcome::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace kms

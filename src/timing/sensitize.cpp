@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/core/verdict.hpp"
 #include "src/proof/drat.hpp"
 #include "src/proof/journal.hpp"
 #include "src/timing/sta.hpp"
@@ -68,7 +69,7 @@ void Sensitizer::side_constraints(GateId g, ConnId entering, double event_time,
 sat::Result Sensitizer::solve(const std::vector<sat::Lit>& assumptions) {
   ++queries_;
   const sat::Result r = solver_.solve(assumptions);
-  if (r == sat::Result::kUnknown) aborted_ = true;
+  if (!is_decided(r)) aborted_ = true;
   return r;
 }
 

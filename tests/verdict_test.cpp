@@ -1,0 +1,69 @@
+// Exhaustive table test for src/core/verdict.hpp — every cell of the
+// three-valued mapping is pinned, so no future edit can silently turn
+// "unknown" into a deletion licence.
+#include "src/core/verdict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kms {
+namespace {
+
+TEST(VerdictTest, SatResultToTestOutcomeTable) {
+  EXPECT_EQ(test_outcome_of(sat::Result::kSat), TestOutcome::kTestable);
+  EXPECT_EQ(test_outcome_of(sat::Result::kUnsat), TestOutcome::kUntestable);
+  EXPECT_EQ(test_outcome_of(sat::Result::kUnknown), TestOutcome::kUnknown);
+}
+
+TEST(VerdictTest, TestOutcomeToSatResultTable) {
+  EXPECT_EQ(sat_result_of(TestOutcome::kTestable), sat::Result::kSat);
+  EXPECT_EQ(sat_result_of(TestOutcome::kUntestable), sat::Result::kUnsat);
+  EXPECT_EQ(sat_result_of(TestOutcome::kUnknown), sat::Result::kUnknown);
+}
+
+TEST(VerdictTest, MappingsAreInverse) {
+  for (const sat::Result r :
+       {sat::Result::kSat, sat::Result::kUnsat, sat::Result::kUnknown})
+    EXPECT_EQ(sat_result_of(test_outcome_of(r)), r);
+  for (const TestOutcome o : {TestOutcome::kTestable, TestOutcome::kUntestable,
+                              TestOutcome::kUnknown})
+    EXPECT_EQ(test_outcome_of(sat_result_of(o)), o);
+}
+
+TEST(VerdictTest, DecidednessTable) {
+  EXPECT_TRUE(is_decided(sat::Result::kSat));
+  EXPECT_TRUE(is_decided(sat::Result::kUnsat));
+  EXPECT_FALSE(is_decided(sat::Result::kUnknown));
+  EXPECT_TRUE(is_decided(TestOutcome::kTestable));
+  EXPECT_TRUE(is_decided(TestOutcome::kUntestable));
+  EXPECT_FALSE(is_decided(TestOutcome::kUnknown));
+}
+
+TEST(VerdictTest, OnlyUnsatProvesUntestable) {
+  EXPECT_FALSE(proves_untestable(sat::Result::kSat));
+  EXPECT_TRUE(proves_untestable(sat::Result::kUnsat));
+  EXPECT_FALSE(proves_untestable(sat::Result::kUnknown));
+  EXPECT_FALSE(proves_untestable(TestOutcome::kTestable));
+  EXPECT_TRUE(proves_untestable(TestOutcome::kUntestable));
+  EXPECT_FALSE(proves_untestable(TestOutcome::kUnknown));
+}
+
+TEST(VerdictTest, NamesAreStable) {
+  EXPECT_EQ(std::string(verdict_name(sat::Result::kSat)), "sat");
+  EXPECT_EQ(std::string(verdict_name(sat::Result::kUnsat)), "unsat");
+  EXPECT_EQ(std::string(verdict_name(sat::Result::kUnknown)), "unknown");
+  EXPECT_EQ(std::string(verdict_name(TestOutcome::kTestable)), "testable");
+  EXPECT_EQ(std::string(verdict_name(TestOutcome::kUntestable)), "untestable");
+  EXPECT_EQ(std::string(verdict_name(TestOutcome::kUnknown)), "unknown");
+}
+
+// The whole table is constexpr: decided at compile time, usable in
+// static_assert by any consumer.
+static_assert(test_outcome_of(sat::Result::kUnsat) ==
+              TestOutcome::kUntestable);
+static_assert(!proves_untestable(TestOutcome::kUnknown));
+static_assert(is_decided(sat::Result::kSat));
+
+}  // namespace
+}  // namespace kms

@@ -40,6 +40,17 @@ for blif in examples/*.blif; do
   "$BUILD_DIR/tools/kmsproof" "$CERT_DIR/$name"
 done
 
+# ThreadSanitizer stage: rebuild under -fsanitize=thread and run the
+# parallel-labelled tests — the work-stealing removal engine's ticket
+# queue, commit protocol, sharded cache, and its jobs={1,2,4,8}
+# determinism suite. TSan and ASan cannot share a build, hence the
+# separate preset/tree. Any data race in the worker/coordinator
+# handshake fails CI here.
+echo "== ThreadSanitizer: parallel-labelled tests (tsan preset) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan -L parallel --output-on-failure
+
 # Bench-smoke stage: run the seed-vs-incremental ATPG comparison on the
 # smallest circuit and validate the emitted BENCH_atpg.json against its
 # kms-bench-atpg-v1 schema. Fails on malformed or empty output, on a

@@ -70,6 +70,7 @@ struct Args {
   std::string proof_dir;  // --emit-proof: artifact directory (irr only)
   double time_limit = 0;            // seconds; 0 = unlimited
   std::int64_t conflict_limit = -1; // global SAT conflicts; -1 = unlimited
+  unsigned jobs = 1;  // removal workers; 0 = hardware concurrency
   ResourceGovernor* governor = nullptr;  // installed by main()
 };
 
@@ -77,8 +78,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: kmscli <irr|audit|delay|stats> <in.blif> "
                "[-o out.blif] [--mode static|viability] [--check]\n"
-               "              [--time-limit <sec>] [--conflict-limit <n>]\n"
+               "              [--time-limit <sec>] [--conflict-limit <n>] "
+               "[--jobs <n>]\n"
                "              [--certify] [--emit-proof <dir>]   (irr only)\n"
+               "--jobs: removal-phase worker threads (default 1; 0 = one "
+               "per hardware thread);\n"
+               "        the result is bit-identical at any worker count\n"
                "exit codes: 0 ok, 1 usage, 2 error, 3 degraded "
                "(limit/SIGINT; output still valid)\n");
   return 1;
@@ -117,6 +122,11 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->conflict_limit = std::strtoll(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || args->conflict_limit < 0)
         return false;
+    } else if (a == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0 || n > 1024) return false;
+      args->jobs = static_cast<unsigned>(n);
     } else {
       return false;
     }
@@ -275,10 +285,13 @@ int cmd_irr(const Args& args) {
   }
   KmsOptions opts;
   opts.mode = args.mode;
-  // --check also turns on the checkpoints between KMS loop phases.
-  opts.check_invariants = args.check;
-  opts.governor = args.governor;
-  opts.session = proving ? &session : nullptr;
+  // One RunContext configures the whole pipeline: governor, proof
+  // session, invariant checkpoints between KMS loop phases (--check),
+  // and the removal-phase worker count (--jobs).
+  opts.context.governor = args.governor;
+  opts.context.session = proving ? &session : nullptr;
+  opts.context.check_invariants = args.check;
+  opts.context.jobs = args.jobs;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
   check_stage(args, model.comb, "kms_make_irredundant");
   if (proving) {

@@ -23,7 +23,7 @@ import sys
 ENGINE_INT_FIELDS = [
     "removed", "passes", "sat_queries", "structural_shortcuts",
     "sim_dropped", "witness_dropped", "cache_hits", "cache_invalidated",
-    "unknown_queries", "sat_conflicts", "max_cone_gates",
+    "unknown_queries", "jobs", "sat_conflicts", "max_cone_gates",
 ]
 ENGINE_NUM_FIELDS = ["cone_gates_avg", "seconds"]
 
@@ -49,6 +49,13 @@ def check_engine(circuit, key, engine):
             fail(f"{where}: field '{f}' is not a non-negative number")
     if not isinstance(engine.get("aborted"), bool):
         fail(f"{where}: field 'aborted' is not a boolean")
+    if engine["jobs"] < 1:
+        fail(f"{where}: field 'jobs' must be >= 1 (0 is resolved to the "
+             "hardware concurrency before an engine runs)")
+    digest = engine.get("digest")
+    if not isinstance(digest, str) or len(digest) != 16 or \
+            any(ch not in "0123456789abcdef" for ch in digest):
+        fail(f"{where}: field 'digest' is not a 16-hex-digit string")
 
 
 def main():
@@ -99,6 +106,10 @@ def main():
                 fail(f"circuit '{name}': incremental engine did not issue "
                      f"strictly fewer SAT queries ({inc['sat_queries']} vs "
                      f"seed {seed['sat_queries']})")
+            if seed["digest"] != inc["digest"]:
+                fail(f"circuit '{name}': engines produced different "
+                     f"networks (digest {seed['digest']} vs "
+                     f"{inc['digest']})")
         ratio = c.get("sat_query_ratio")
         if not isinstance(ratio, (int, float)) or ratio < 0:
             fail(f"circuit '{name}': 'sat_query_ratio' is not a "
