@@ -6,9 +6,12 @@
 // Modes:
 //   bench_atpg                      audit table (fault counts, drop
 //                                   rates, solver throughput)
-//   bench_atpg --json <path>        seed-vs-incremental removal-engine
-//                                   comparison, written as
-//                                   kms-bench-atpg-v1 JSON (schema
+//   bench_atpg --json <path>        three-way removal-engine comparison
+//                                   (seed / incremental / static+
+//                                   incremental, the last with the
+//                                   SAT-free static untestability
+//                                   pre-pass on), written as
+//                                   kms-bench-atpg-v2 JSON (schema
 //                                   documented in DESIGN.md §11)
 //   bench_atpg --json <path> --quick
 //                                   same, smallest circuit only (the CI
@@ -95,10 +98,11 @@ struct EngineRun {
 };
 
 EngineRun run_engine(const Network& net, bool incremental,
-                     unsigned jobs = 1) {
+                     unsigned jobs = 1, bool static_prepass = false) {
   Network copy = net.clone_compact();
   RedundancyRemovalOptions opts;
   opts.incremental = incremental;
+  opts.static_prepass = static_prepass;
   opts.context.jobs = jobs;
   // The comparison isolates exact-ATPG load: random-pattern pre-drop is
   // off for both engines (it hides the query counts behind stimulus
@@ -122,6 +126,7 @@ void write_engine(std::FILE* out, const char* key, const EngineRun& run) {
       out,
       "      \"%s\": {\"removed\": %zu, \"passes\": %zu, "
       "\"sat_queries\": %zu, \"structural_shortcuts\": %zu, "
+      "\"static_discharged\": %zu, "
       "\"sim_dropped\": %zu, \"witness_dropped\": %zu, "
       "\"cache_hits\": %zu, \"cache_invalidated\": %zu, "
       "\"unknown_queries\": %zu, \"aborted\": %s, \"jobs\": %u, "
@@ -129,7 +134,8 @@ void write_engine(std::FILE* out, const char* key, const EngineRun& run) {
       "\"sat_conflicts\": %llu, \"cone_gates_avg\": %.2f, "
       "\"max_cone_gates\": %llu, \"seconds\": %.6f}",
       key, run.r.removed, run.r.passes, run.r.sat_queries,
-      run.r.structural_shortcuts, run.r.sim_dropped, run.r.witness_dropped,
+      run.r.structural_shortcuts, run.r.static_discharged, run.r.sim_dropped,
+      run.r.witness_dropped,
       run.r.cache_hits, run.r.cache_invalidated, run.r.unknown_queries,
       run.r.aborted ? "true" : "false", run.jobs,
       static_cast<unsigned long long>(run.digest),
@@ -140,9 +146,27 @@ void write_engine(std::FILE* out, const char* key, const EngineRun& run) {
       static_cast<unsigned long long>(a.max_cone_gates), run.seconds);
 }
 
+/// Statically redundant blocks: y_i = a_i AND (a_i AND b_i). The
+/// direct a_i branch into the outer AND is untestable stuck-at-1 and
+/// the static "blocked" rule proves it SAT-free, so the static engine
+/// column shows a removal pipeline running at zero SAT queries here —
+/// the sharp end of the pre-pass comparison.
+Network statred_blocks(std::size_t blocks) {
+  Network net("statred_" + std::to_string(blocks));
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const GateId a = net.add_input("a" + std::to_string(i));
+    const GateId b = net.add_input("b" + std::to_string(i));
+    const GateId x = net.add_gate(GateKind::kAnd, {a, b}, 1.0);
+    const GateId y = net.add_gate(GateKind::kAnd, {a, x}, 1.0);
+    net.add_output("y" + std::to_string(i), y);
+  }
+  return net;
+}
+
 int run_json(const std::string& path, bool quick) {
   std::vector<std::pair<std::string, Network>> circuits;
   circuits.emplace_back("csa_8_2", carry_skip_adder(8, 2));
+  circuits.emplace_back("statred_8", statred_blocks(8));
   if (!quick) {
     circuits.emplace_back("csa_16_4", carry_skip_adder(16, 4));
     circuits.emplace_back("rca_16", ripple_carry_adder(16));
@@ -155,7 +179,7 @@ int run_json(const std::string& path, bool quick) {
     std::fprintf(stderr, "bench_atpg: cannot write %s\n", path.c_str());
     return 2;
   }
-  std::fprintf(out, "{\n  \"schema\": \"kms-bench-atpg-v1\",\n");
+  std::fprintf(out, "{\n  \"schema\": \"kms-bench-atpg-v2\",\n");
   std::fprintf(out, "  \"circuits\": [\n");
   bool failed = false;
   for (std::size_t c = 0; c < circuits.size(); ++c) {
@@ -167,7 +191,11 @@ int run_json(const std::string& path, bool quick) {
                  circuits[c].first.c_str(), gates, faults);
     const EngineRun seed = run_engine(net, /*incremental=*/false);
     const EngineRun inc = run_engine(net, /*incremental=*/true);
-    const bool match = seed.r.removed == inc.r.removed;
+    const EngineRun stat = run_engine(net, /*incremental=*/true, /*jobs=*/1,
+                                      /*static_prepass=*/true);
+    const bool match = seed.r.removed == inc.r.removed &&
+                       inc.r.removed == stat.r.removed &&
+                       seed.digest == inc.digest && inc.digest == stat.digest;
     if (!match) failed = true;
     const double ratio =
         static_cast<double>(seed.r.sat_queries) /
@@ -179,6 +207,8 @@ int run_json(const std::string& path, bool quick) {
     write_engine(out, "seed", seed);
     std::fprintf(out, ",\n");
     write_engine(out, "incremental", inc);
+    std::fprintf(out, ",\n");
+    write_engine(out, "static", stat);
     std::fprintf(out, "\n     },\n");
     std::fprintf(out, "     \"removed_match\": %s, "
                       "\"sat_query_ratio\": %.3f}%s\n",
@@ -187,16 +217,19 @@ int run_json(const std::string& path, bool quick) {
     std::fprintf(stderr,
                  "  seed: %zu removed, %zu sat queries, %.3fs | "
                  "incremental: %zu removed, %zu sat queries, %.3fs "
-                 "(ratio %.2fx)%s\n",
+                 "(ratio %.2fx) | static: %zu removed, %zu sat queries "
+                 "(%zu discharged), %.3fs%s\n",
                  seed.r.removed, seed.r.sat_queries, seed.seconds,
                  inc.r.removed, inc.r.sat_queries, inc.seconds, ratio,
-                 match ? "" : "  REMOVED-COUNT MISMATCH");
+                 stat.r.removed, stat.r.sat_queries, stat.r.static_discharged,
+                 stat.seconds, match ? "" : "  ENGINE MISMATCH");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   if (failed) {
     std::fprintf(stderr,
-                 "bench_atpg: FAILED — engines removed different counts\n");
+                 "bench_atpg: FAILED — engines diverged (removed count or "
+                 "result digest)\n");
     return 2;
   }
   return 0;

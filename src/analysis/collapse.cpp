@@ -1,0 +1,145 @@
+#include "src/analysis/collapse.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace kms::analysis {
+namespace {
+
+std::size_t live_fanout(const Network& net, GateId g) {
+  std::size_t n = 0;
+  for (ConnId c : net.gate(g).fanouts)
+    if (!net.conn(c).dead) ++n;
+  return n;
+}
+
+bool faultable_gate(const Network& net, GateId g) {
+  const Gate& gt = net.gate(g);
+  if (gt.dead) return false;
+  if (gt.kind == GateKind::kOutput) return false;
+  if (is_constant(gt.kind)) return false;
+  return live_fanout(net, g) > 0;
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::string format_fault_node(const Network& net, const FaultNode& f) {
+  auto label = [&net](GateId g) {
+    const Gate& gt = net.gate(g);
+    std::string s =
+        gt.name.empty() ? "g" + std::to_string(g.value()) : gt.name;
+    s += "(";
+    s += gate_kind_name(gt.kind);
+    s += ")";
+    return s;
+  };
+  const char* sa = f.stuck ? "/SA1" : "/SA0";
+  if (!f.branch) return label(f.gate) + sa;
+  const Conn& c = net.conn(f.conn);
+  return "conn " + label(c.from) + "->" + label(c.to) + sa;
+}
+
+FaultCollapse::FaultCollapse(const Network& net) {
+  // Same key scheme and the same equivalence rules as the ATPG layer's
+  // collapsed_faults() — the partitions must agree.
+  const std::size_t gate_keys = 2 * net.gate_capacity();
+  const std::size_t total_keys = gate_keys + 2 * net.conn_capacity();
+  auto stem_key = [](GateId g, bool v) {
+    return 2 * static_cast<std::size_t>(g.value()) + (v ? 1 : 0);
+  };
+  auto branch_key = [gate_keys](ConnId c, bool v) {
+    return gate_keys + 2 * static_cast<std::size_t>(c.value()) + (v ? 1 : 0);
+  };
+  auto input_site_key = [&](ConnId c, bool v) {
+    const GateId src = net.conn(c).from;
+    return live_fanout(net, src) > 1 ? branch_key(c, v) : stem_key(src, v);
+  };
+
+  UnionFind uf(total_keys);
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const GateId g{i};
+    const Gate& gt = net.gate(g);
+    if (gt.dead) continue;
+    switch (gt.kind) {
+      case GateKind::kAnd:
+      case GateKind::kNand:
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        const bool cv = controlling_value(gt.kind);
+        const bool out_stuck = is_inverting(gt.kind) ? !cv : cv;
+        for (ConnId c : gt.fanins)
+          uf.unite(input_site_key(c, cv), stem_key(g, out_stuck));
+        // Dominance: the output stuck at the noncontrolled response is
+        // detected by any test for an input stuck at the noncontrolling
+        // value — one edge per input.
+        dominance_edges_ += gt.fanins.size();
+        break;
+      }
+      case GateKind::kBuf:
+      case GateKind::kNot: {
+        const bool inv = gt.kind == GateKind::kNot;
+        for (bool v : {false, true})
+          uf.unite(input_site_key(gt.fanins[0], v), stem_key(g, inv ? !v : v));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Group the real fault sites by class root, preserving site order.
+  std::vector<FaultNode> all;
+  for (std::uint32_t i = 0; i < net.gate_capacity(); ++i) {
+    const GateId g{i};
+    if (!faultable_gate(net, g)) continue;
+    for (bool v : {false, true})
+      all.push_back(FaultNode{false, g, ConnId::invalid(), v});
+  }
+  for (std::uint32_t i = 0; i < net.conn_capacity(); ++i) {
+    const ConnId c{i};
+    if (net.conn(c).dead) continue;
+    if (!faultable_gate(net, net.conn(c).from)) continue;
+    if (live_fanout(net, net.conn(c).from) <= 1) continue;
+    for (bool v : {false, true})
+      all.push_back(FaultNode{true, GateId::invalid(), c, v});
+  }
+  total_ = all.size();
+
+  std::map<std::size_t, FaultClass> by_root;
+  for (const FaultNode& f : all) {
+    const std::size_t key =
+        f.branch ? branch_key(f.conn, f.stuck) : stem_key(f.gate, f.stuck);
+    by_root[uf.find(key)].members.push_back(f);
+  }
+  classes_.reserve(by_root.size());
+  for (auto& [root, cls] : by_root) classes_.push_back(std::move(cls));
+  std::stable_sort(classes_.begin(), classes_.end(),
+                   [](const FaultClass& a, const FaultClass& b) {
+                     return a.members.size() > b.members.size();
+                   });
+}
+
+}  // namespace kms::analysis

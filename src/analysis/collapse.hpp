@@ -1,0 +1,64 @@
+// Structural fault collapsing: equivalence classes and dominance edges.
+//
+// Two faults are (structurally) equivalent when every test for one is a
+// test for the other — for a simple gate, an input stuck at the
+// controlling value is equivalent to the output stuck at the controlled
+// response, and inverters/buffers map faults straight through. Fault f
+// dominates fault e when every test for e also detects f — for a simple
+// gate, the output stuck at the noncontrolled response dominates each
+// input stuck at the noncontrolling value. Equivalence shrinks the
+// fault list with no loss; dominance identifies output faults whose
+// explicit targeting is unnecessary.
+//
+// This is the analysis-side view: it exposes the classes themselves
+// (sizes, members) for reporting and for the NL020 lint rule, alongside
+// the count of dominance edges. The ATPG layer keeps its own collapsed
+// representative list (src/atpg/fault.cpp); the class partition
+// computed here must agree with it — a property test pins that down.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/netlist/network.hpp"
+
+namespace kms::analysis {
+
+/// One fault node in the collapsing universe: a stem (gate output) or a
+/// branch (fanout connection) stuck-at fault.
+struct FaultNode {
+  bool branch = false;
+  GateId gate;  ///< stem gate (valid when !branch)
+  ConnId conn;  ///< branch connection (valid when branch)
+  bool stuck = false;
+};
+
+/// "g12(and)/SA0"-style label without depending on the ATPG layer.
+std::string format_fault_node(const Network& net, const FaultNode& f);
+
+struct FaultClass {
+  std::vector<FaultNode> members;  ///< deterministic order
+};
+
+class FaultCollapse {
+ public:
+  explicit FaultCollapse(const Network& net);
+
+  /// Equivalence classes over all fault sites, largest first (ties by
+  /// smallest member site), each class's members in site order.
+  const std::vector<FaultClass>& classes() const { return classes_; }
+
+  std::size_t total_faults() const { return total_; }
+
+  /// Number of (dominator fault, dominated fault) structural dominance
+  /// pairs across simple gates.
+  std::size_t dominance_edges() const { return dominance_edges_; }
+
+ private:
+  std::vector<FaultClass> classes_;
+  std::size_t total_ = 0;
+  std::size_t dominance_edges_ = 0;
+};
+
+}  // namespace kms::analysis

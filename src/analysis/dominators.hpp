@@ -1,0 +1,55 @@
+// Gate-level post-dominator tree (absolute dominators per fault site).
+//
+// Gate d is an absolute dominator of gate g when every path from g's
+// output to any primary output passes through d. The effect of a fault
+// at g can only reach an observation point through g's dominators, so a
+// dominator whose side inputs are forced to a controlling value blocks
+// the fault entirely — the core of static (SAT-free) untestability
+// analysis, after Teslenko & Dubrova's fast redundancy heuristic.
+//
+// All primary outputs are joined to one virtual sink and the immediate
+// post-dominator of every live gate is computed by the standard
+// intersection algorithm over a reverse topological order (one pass
+// suffices on a DAG).
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/network.hpp"
+
+namespace kms::analysis {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Network& net);
+
+  /// True when some primary output is reachable from g (live paths).
+  bool reaches_output(GateId g) const {
+    return g.value() < reach_.size() && reach_[g.value()];
+  }
+
+  /// Immediate post-dominator of g, or GateId::invalid() when it is the
+  /// virtual sink (g's fanout paths diverge for good) or g reaches no
+  /// output at all.
+  GateId ipdom(GateId g) const;
+
+  /// The dominator chain of g: ipdom(g), ipdom(ipdom(g)), ... up to the
+  /// virtual sink, excluding g itself. Output markers are included (they
+  /// are trivial one-input gates); the virtual sink is not a gate.
+  std::vector<GateId> chain(GateId g) const;
+
+  /// True when d lies on chain(g).
+  bool dominates(GateId d, GateId g) const;
+
+ private:
+  const Network& net_;
+  /// Encoded ipdom per gate: a gate id value, kSink, or kNone.
+  std::vector<std::uint32_t> idom_;
+  std::vector<char> reach_;
+  std::vector<std::uint32_t> topo_pos_;  ///< position in topo order
+  std::uint32_t sink_, none_;
+
+  std::uint32_t intersect(std::uint32_t a, std::uint32_t b) const;
+};
+
+}  // namespace kms::analysis

@@ -1,0 +1,38 @@
+#include "src/analysis/levels.hpp"
+
+#include <algorithm>
+
+namespace kms::analysis {
+
+std::vector<std::uint32_t> gate_levels(const Network& net) {
+  std::vector<std::uint32_t> level(net.gate_capacity(), 0);
+  for (GateId g : net.topo_order()) {
+    const Gate& gt = net.gate(g);
+    std::uint32_t in_max = 0;
+    for (ConnId c : gt.fanins) {
+      if (net.conn(c).dead) continue;
+      in_max = std::max(in_max, level[net.conn(c).from.value()]);
+    }
+    if (gt.fanins.empty()) {
+      level[g.value()] = 0;
+    } else if (gt.kind == GateKind::kOutput) {
+      level[g.value()] = in_max;
+    } else {
+      level[g.value()] = in_max + 1;
+    }
+  }
+  return level;
+}
+
+std::vector<GateId> levelized_order(const Network& net) {
+  const std::vector<std::uint32_t> level = gate_levels(net);
+  std::vector<GateId> order = net.topo_order();
+  std::stable_sort(order.begin(), order.end(), [&](GateId a, GateId b) {
+    if (level[a.value()] != level[b.value()])
+      return level[a.value()] < level[b.value()];
+    return a.value() < b.value();
+  });
+  return order;
+}
+
+}  // namespace kms::analysis

@@ -1,0 +1,59 @@
+// Aggregated static-analysis report for one network — the payload
+// behind `kmscli analyze` and the machine-readable face of the
+// analysis subsystem (levels, dominators, SCOAP, implications, static
+// untestability, fault collapsing, NL017–NL021 findings).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/check/diagnostics.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms::analysis {
+
+struct AnalysisReport {
+  std::string model;
+
+  // structure
+  std::size_t gates = 0;       ///< live logic gates (excl. buffers)
+  std::size_t conns = 0;
+  std::size_t depth = 0;
+  std::uint32_t max_level = 0;
+
+  // dominators
+  std::size_t dominated_gates = 0;  ///< gates with a real (non-sink) ipdom
+
+  // SCOAP
+  std::uint32_t max_cc = 0;         ///< max finite CC0/CC1 over live gates
+  std::uint32_t max_co = 0;         ///< max finite CO
+  std::size_t unobservable_gates = 0;
+
+  // static untestability over the collapsed fault list
+  std::size_t fault_sites = 0;      ///< faults examined (collapsed)
+  std::size_t unobservable = 0;
+  std::size_t unexcitable = 0;
+  std::size_t blocked = 0;
+
+  // collapsing
+  std::size_t total_faults = 0;
+  std::size_t fault_classes = 0;
+  std::size_t largest_class = 0;
+  std::size_t dominance_edges = 0;
+
+  Diagnostics diagnostics;  ///< NL017–NL021 findings
+
+  std::size_t static_untestable() const {
+    return unobservable + unexcitable + blocked;
+  }
+
+  void print_text(std::ostream& out) const;
+  void print_json(std::ostream& out) const;
+};
+
+/// Run the full analysis stack on `net`.
+AnalysisReport run_analysis(const Network& net);
+
+}  // namespace kms::analysis

@@ -1,0 +1,43 @@
+// Analysis-backed lint rules NL017–NL021.
+//
+// The structural checker (src/check/) validates representation
+// invariants; these rules go further and use the static analysis engine
+// to flag *testability* smells — all warnings, because the constructs
+// are legal, just suspicious:
+//
+//   NL017 static-untestable-stem     a gate reaches an output, yet both
+//                                    of its stem faults are statically
+//                                    untestable: its value never matters
+//   NL018 static-constant            a non-constant gate whose output
+//                                    cannot take one of its values under
+//                                    the implication closure
+//   NL019 blocked-branch             a fanout branch with a statically
+//                                    untestable stuck-at fault: the
+//                                    connection is replaceable by a
+//                                    constant (a KMS redundancy)
+//   NL020 large-fault-class          a structural fault-equivalence
+//                                    class with many members — heavily
+//                                    collapsed logic worth a look
+//   NL021 masked-reconvergence       a reconvergence gate whose value is
+//                                    implied equal under both values of
+//                                    the fanout stem: the reconvergent
+//                                    paths statically cancel
+//
+// Rule metadata (ids, severities, summaries) lives with the rest of the
+// registry in src/check/diagnostics.cpp.
+#pragma once
+
+#include "src/check/diagnostics.hpp"
+#include "src/netlist/network.hpp"
+
+namespace kms::analysis {
+
+/// Size at which NL020 considers a fault-equivalence class notable.
+inline constexpr std::size_t kLargeFaultClass = 6;
+
+/// Run NL017–NL021 on `net`, appending findings to `out`. Respects
+/// `max_diagnostics` as a cap on the total size of `out`.
+void run_analysis_rules(const Network& net, Diagnostics* out,
+                        std::size_t max_diagnostics = 100);
+
+}  // namespace kms::analysis

@@ -1,0 +1,36 @@
+// SCOAP-style testability metrics (Goldstein's controllability and
+// observability measures, combinational form).
+//
+// CC0/CC1(g): the cost of setting gate g's output to 0/1 — primary
+// inputs cost 1, every gate adds 1 plus the cheapest way to justify its
+// output through its fanins. CO(g): the cost of propagating a change at
+// g's output to some primary output — output markers cost 0, every gate
+// on the way adds 1 plus the cost of setting its side inputs to
+// noncontrolling values. kInfinity marks unachievable goals (a
+// constant's complement, an unobservable stem) — saturating arithmetic
+// keeps the sums meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/network.hpp"
+
+namespace kms::analysis {
+
+/// Saturation bound for unachievable controllability/observability.
+inline constexpr std::uint32_t kScoapInfinity = 0xFFFFFFFFu;
+
+struct ScoapMetrics {
+  std::vector<std::uint32_t> cc0;  ///< per gate id
+  std::vector<std::uint32_t> cc1;
+  std::vector<std::uint32_t> co;
+
+  bool observable(GateId g) const {
+    return co[g.value()] != kScoapInfinity;
+  }
+};
+
+ScoapMetrics compute_scoap(const Network& net);
+
+}  // namespace kms::analysis

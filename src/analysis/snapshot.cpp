@@ -1,0 +1,191 @@
+#include "src/analysis/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/base/strings.hpp"
+
+namespace kms::analysis {
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string parse_quoted(const std::string& line, std::size_t& pos) {
+  if (pos >= line.size() || line[pos] != '"')
+    throw std::runtime_error("snapshot: expected quoted string");
+  std::string out;
+  for (++pos; pos < line.size(); ++pos) {
+    const char c = line[pos];
+    if (c == '\\') {
+      if (++pos >= line.size())
+        throw std::runtime_error("snapshot: dangling escape");
+      out += line[pos];
+    } else if (c == '"') {
+      ++pos;
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  throw std::runtime_error("snapshot: unterminated quoted string");
+}
+
+GateKind kind_of(const std::string& name) {
+  static constexpr GateKind kAll[] = {
+      GateKind::kInput, GateKind::kOutput, GateKind::kConst0,
+      GateKind::kConst1, GateKind::kBuf,   GateKind::kNot,
+      GateKind::kAnd,    GateKind::kOr,    GateKind::kNand,
+      GateKind::kNor,    GateKind::kXor,   GateKind::kXnor,
+      GateKind::kMux};
+  for (GateKind k : kAll)
+    if (name == gate_kind_name(k)) return k;
+  throw std::runtime_error("snapshot: unknown gate kind '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<GateId> snapshot_order(const Network& net) {
+  return net.topo_order();
+}
+
+std::string write_snapshot(const Network& net) {
+  const std::vector<GateId> order = snapshot_order(net);
+  std::vector<std::uint32_t> index(net.gate_capacity(), 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i)
+    index[order[i].value()] = i;
+
+  std::ostringstream out;
+  out << "kms-snapshot v1\n";
+  out << "model " << quote(net.name()) << "\n";
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const Gate& gt = net.gate(order[i]);
+    out << "gate " << i << " " << gate_kind_name(gt.kind);
+    out << " in=";
+    bool first = true;
+    for (ConnId c : gt.fanins) {
+      if (net.conn(c).dead) continue;
+      if (!first) out << ",";
+      first = false;
+      out << index[net.conn(c).from.value()];
+      if (net.conn(c).delay != 0.0)
+        out << ":" << str_format("%.17g", net.conn(c).delay);
+    }
+    if (first) out << "-";
+    if (gt.delay != 0.0) out << " delay=" << str_format("%.17g", gt.delay);
+    if (gt.kind == GateKind::kInput && gt.arrival != 0.0)
+      out << " arrival=" << str_format("%.17g", gt.arrival);
+    if (!gt.name.empty()) out << " name=" << quote(gt.name);
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Network read_snapshot(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "kms-snapshot v1")
+    throw std::runtime_error("snapshot: missing 'kms-snapshot v1' header");
+  Network net;
+  bool ended = false;
+  std::uint32_t next = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "model") {
+      std::size_t pos = line.find('"');
+      if (pos == std::string::npos)
+        throw std::runtime_error("snapshot: bad model line");
+      net.set_name(parse_quoted(line, pos));
+    } else if (word == "end") {
+      ended = true;
+    } else if (word == "gate") {
+      std::uint32_t idx = 0;
+      std::string kind_name;
+      ls >> idx >> kind_name;
+      if (ls.fail() || idx != next)
+        throw std::runtime_error("snapshot: gates must be consecutive");
+      ++next;
+      const GateKind kind = kind_of(kind_name);
+      // Parse the remaining key=value fields.
+      std::vector<std::uint32_t> fanins;
+      std::vector<double> conn_delays;
+      double delay = 0.0, arrival = 0.0;
+      std::string name;
+      std::string field;
+      while (ls >> field) {
+        if (field.rfind("in=", 0) == 0) {
+          const std::string list = field.substr(3);
+          if (list == "-") continue;
+          std::istringstream fl(list);
+          std::string item;
+          while (std::getline(fl, item, ',')) {
+            const std::size_t colon = item.find(':');
+            fanins.push_back(
+                static_cast<std::uint32_t>(std::stoul(item.substr(0, colon))));
+            conn_delays.push_back(
+                colon == std::string::npos
+                    ? 0.0
+                    : std::stod(item.substr(colon + 1)));
+          }
+        } else if (field.rfind("delay=", 0) == 0) {
+          delay = std::stod(field.substr(6));
+        } else if (field.rfind("arrival=", 0) == 0) {
+          arrival = std::stod(field.substr(8));
+        } else if (field.rfind("name=", 0) == 0) {
+          std::size_t pos = line.find("name=");
+          pos += 5;
+          name = parse_quoted(line, pos);
+          break;  // the quoted name is the last field on the line
+        } else {
+          throw std::runtime_error("snapshot: unknown field '" + field + "'");
+        }
+      }
+      for (const std::uint32_t f : fanins)
+        if (f >= idx)
+          throw std::runtime_error(
+              "snapshot: fanin references a later gate (not topological)");
+      GateId g;
+      switch (kind) {
+        case GateKind::kInput:
+          if (!fanins.empty())
+            throw std::runtime_error("snapshot: input with fanins");
+          g = net.add_input(name, arrival);
+          break;
+        case GateKind::kOutput:
+          if (fanins.size() != 1)
+            throw std::runtime_error("snapshot: output needs one fanin");
+          g = net.add_output(name, GateId{fanins[0]});
+          net.conn(net.gate(g).fanins[0]).delay = conn_delays[0];
+          break;
+        default: {
+          std::vector<GateId> srcs;
+          srcs.reserve(fanins.size());
+          for (const std::uint32_t f : fanins) srcs.push_back(GateId{f});
+          g = net.add_gate(kind, srcs, delay, name);
+          for (std::size_t p = 0; p < conn_delays.size(); ++p)
+            net.conn(net.gate(g).fanins[p]).delay = conn_delays[p];
+          break;
+        }
+      }
+      if (g.value() != idx)
+        throw std::runtime_error("snapshot: index mismatch on rebuild");
+    } else {
+      throw std::runtime_error("snapshot: unexpected line '" + line + "'");
+    }
+  }
+  if (!ended) throw std::runtime_error("snapshot: missing end marker");
+  return net;
+}
+
+}  // namespace kms::analysis

@@ -79,6 +79,17 @@ struct RedundancyRemovalOptions {
   /// engine, kept selectable as the baseline for equivalence tests and
   /// the bench_atpg comparison.
   bool incremental = true;
+  /// SAT-free static untestability pre-pass: before each pass's scan,
+  /// the dominator/implication engine (src/analysis) proves what it can
+  /// and those faults are discharged without a solver call. The rules
+  /// are sound and the oracle is a pure function of the network — no
+  /// rng draws, no thread state — so the removed-fault set stays
+  /// bit-identical with the pre-pass on or off, at any job count; only
+  /// the SAT query count changes. In proof-carrying runs each static
+  /// verdict is journalled at commit time with a re-derivable
+  /// structural justification (snapshot + dominator chain + implication
+  /// set) instead of a DRAT certificate; kmsproof re-derives it.
+  bool static_prepass = true;
   RemovalOrder order = RemovalOrder::kForward;
   std::uint64_t seed = 0x5EEDull;
 
@@ -134,6 +145,10 @@ struct RedundancyRemovalResult {
   /// `structural_shortcuts`, not here — no solve happened.
   std::size_t sat_queries = 0;
   std::size_t structural_shortcuts = 0;  ///< solver-free untestable verdicts
+  /// Untestable verdicts discharged by the static analysis pre-pass
+  /// (dominators + implications), each a SAT query avoided. Zero when
+  /// RedundancyRemovalOptions::static_prepass is off.
+  std::size_t static_discharged = 0;
   std::size_t unknown_queries = 0;  ///< queries aborted by the governor
   bool aborted = false;  ///< loop stopped early on governor exhaustion
 

@@ -51,6 +51,27 @@ const std::vector<RuleInfo>& all_rules() {
       {"NL016", Severity::kWarning, "unswept-constant",
        "a live logic gate should not be driven by a constant gate "
        "(constant propagation has not reached fixpoint)"},
+      // NL017..NL021 are produced by the static analysis engine
+      // (src/analysis/rules.cpp); the structural NetworkChecker never
+      // emits them, but they share this registry so kmslint and kmscli
+      // --analyze report them uniformly.
+      {"NL017", Severity::kWarning, "static-untestable-stem",
+       "a gate reaching an output has both stem stuck-at faults "
+       "statically untestable (redundant logic a SAT-free pass would "
+       "remove)"},
+      {"NL018", Severity::kWarning, "static-constant",
+       "the implication closure proves a non-constant gate can never "
+       "take one of its values (statically constant)"},
+      {"NL019", Severity::kWarning, "blocked-branch",
+       "a fanout branch carries a statically untestable stuck-at fault "
+       "and could be replaced by a constant without changing function"},
+      {"NL020", Severity::kWarning, "large-fault-class",
+       "a structural fault-equivalence class is unusually large (highly "
+       "uniform logic; one test covers many faults)"},
+      {"NL021", Severity::kWarning, "masked-reconvergence",
+       "a reconvergent fanout stem implies the same value at its "
+       "reconvergence gate under both polarities (self-masking "
+       "structure)"},
       {"NL900", Severity::kError, "parse",
        "the input file must parse as BLIF (emitted by kmslint only)"},
   };

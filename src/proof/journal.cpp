@@ -26,6 +26,8 @@ constexpr KindName kKindNames[] = {
     {JournalStep::Kind::kDelete, "delete"},
     {JournalStep::Kind::kFaultSimTestable, "fault-sim-testable"},
     {JournalStep::Kind::kPartial, "partial"},
+    {JournalStep::Kind::kFaultStaticUntestable, "fault-static-untestable"},
+    {JournalStep::Kind::kDeleteStatic, "delete-static"},
 };
 
 /// Quote a free-text field: backslash-escape '"' and '\'.
@@ -52,35 +54,45 @@ void TransformJournal::add(JournalStep step) {
 }
 
 void TransformJournal::add_decompose(std::uint64_t gates) {
-  add({JournalStep::Kind::kDecompose, -1, {}, gates});
+  add({JournalStep::Kind::kDecompose, -1, {}, {}, gates});
 }
 void TransformJournal::add_path_unsens(std::string path, std::int64_t proof) {
-  add({JournalStep::Kind::kPathUnsens, proof, std::move(path), 0});
+  add({JournalStep::Kind::kPathUnsens, proof, std::move(path), {}, 0});
 }
 void TransformJournal::add_path_giveup(std::string reason) {
-  add({JournalStep::Kind::kPathGiveup, -1, std::move(reason), 0});
+  add({JournalStep::Kind::kPathGiveup, -1, std::move(reason), {}, 0});
 }
 void TransformJournal::add_duplicate(std::uint64_t gates) {
-  add({JournalStep::Kind::kDuplicate, -1, {}, gates});
+  add({JournalStep::Kind::kDuplicate, -1, {}, {}, gates});
 }
 void TransformJournal::add_constant(std::uint64_t conn) {
-  add({JournalStep::Kind::kConstant, -1, {}, conn});
+  add({JournalStep::Kind::kConstant, -1, {}, {}, conn});
 }
 void TransformJournal::add_fault_untestable(std::string fault,
                                             std::int64_t proof) {
-  add({JournalStep::Kind::kFaultUntestable, proof, std::move(fault), 0});
+  add({JournalStep::Kind::kFaultUntestable, proof, std::move(fault), {}, 0});
 }
 void TransformJournal::add_fault_unknown(std::string fault) {
-  add({JournalStep::Kind::kFaultUnknown, -1, std::move(fault), 0});
+  add({JournalStep::Kind::kFaultUnknown, -1, std::move(fault), {}, 0});
 }
 void TransformJournal::add_fault_sim_testable(std::string fault) {
-  add({JournalStep::Kind::kFaultSimTestable, -1, std::move(fault), 0});
+  add({JournalStep::Kind::kFaultSimTestable, -1, std::move(fault), {}, 0});
 }
 void TransformJournal::add_delete(std::string fault, std::int64_t proof) {
-  add({JournalStep::Kind::kDelete, proof, std::move(fault), 0});
+  add({JournalStep::Kind::kDelete, proof, std::move(fault), {}, 0});
+}
+void TransformJournal::add_fault_static_untestable(
+    std::string fault, std::int64_t proof, std::string just,
+    std::uint64_t snapshot_digest) {
+  add({JournalStep::Kind::kFaultStaticUntestable, proof, std::move(fault),
+       std::move(just), snapshot_digest});
+}
+void TransformJournal::add_delete_static(std::string fault,
+                                         std::int64_t proof) {
+  add({JournalStep::Kind::kDeleteStatic, proof, std::move(fault), {}, 0});
 }
 void TransformJournal::mark_partial(std::string reason) {
-  add({JournalStep::Kind::kPartial, -1, std::move(reason), 0});
+  add({JournalStep::Kind::kPartial, -1, std::move(reason), {}, 0});
 }
 
 bool TransformJournal::partial() const {
@@ -104,6 +116,7 @@ void TransformJournal::write(std::ostream& out) const {
     if (s.proof >= 0) out << " proof=" << s.proof;
     if (s.count != 0) out << " count=" << s.count;
     if (!s.what.empty()) out << " what=" << quote(s.what);
+    if (!s.just.empty()) out << " just=" << quote(s.just);
     out << "\n";
   }
   out << str_format("output-digest %016llx\n",
@@ -193,21 +206,41 @@ TransformJournal TransformJournal::read(std::istream& in) {
       if (!known)
         throw std::runtime_error("journal: unknown step kind '" + kind_name +
                                  "'");
-      std::string field;
-      while (ls >> field) {
-        if (field.rfind("proof=", 0) == 0) {
-          step.proof = std::stoll(field.substr(6));
-        } else if (field.rfind("count=", 0) == 0) {
-          step.count = std::stoull(field.substr(6));
-        } else if (field.rfind("what=", 0) == 0) {
-          // Re-find in the raw line: the stream tokenizer splits on
-          // spaces inside the quoted value.
-          std::size_t pos = line.find("what=");
-          pos += 5;
-          step.what = parse_quoted(line, pos);
-          break;
+      // Scan the raw line key=value style: quoted values contain
+      // spaces, so a stream tokenizer cannot walk past them (the old
+      // parser simply stopped at what=; just= forces a real scan).
+      std::size_t pos = line.find(kind_name) + kind_name.size();
+      while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ') ++pos;
+        if (pos >= line.size()) break;
+        const std::size_t eq = line.find('=', pos);
+        if (eq == std::string::npos)
+          throw std::runtime_error("journal: malformed step field in '" +
+                                   line + "'");
+        const std::string key = line.substr(pos, eq - pos);
+        if (key.find(' ') != std::string::npos)
+          throw std::runtime_error("journal: malformed step field '" + key +
+                                   "'");
+        pos = eq + 1;
+        std::string value;
+        if (pos < line.size() && line[pos] == '"') {
+          value = parse_quoted(line, pos);
         } else {
-          throw std::runtime_error("journal: unknown field '" + field + "'");
+          const std::size_t end = line.find(' ', pos);
+          value = line.substr(
+              pos, end == std::string::npos ? std::string::npos : end - pos);
+          pos = end == std::string::npos ? line.size() : end;
+        }
+        if (key == "proof") {
+          step.proof = std::stoll(value);
+        } else if (key == "count") {
+          step.count = std::stoull(value);
+        } else if (key == "what") {
+          step.what = value;
+        } else if (key == "just") {
+          step.just = value;
+        } else {
+          throw std::runtime_error("journal: unknown field '" + key + "'");
         }
       }
       j.steps_.push_back(std::move(step));
@@ -230,6 +263,11 @@ TransformJournal TransformJournal::read(std::istream& in) {
 std::int64_t ProofSession::add_certificate(DratCertificate cert) {
   certs_.push_back(std::move(cert));
   return static_cast<std::int64_t>(certs_.size()) - 1;
+}
+
+std::int64_t ProofSession::add_static_certificate(StaticCertificate cert) {
+  static_certs_.push_back(std::move(cert));
+  return static_cast<std::int64_t>(static_certs_.size()) - 1;
 }
 
 std::uint64_t digest_bytes(const std::string& bytes) {

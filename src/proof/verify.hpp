@@ -6,8 +6,10 @@
 // untestable-fault verdict for the same fault; a duplication or constant
 // assertion must follow an unsensitizable-path verdict), every verdict's
 // DRAT certificate is re-checked from scratch (src/proof/checker.hpp),
-// the journal digests are recomputed from the BLIF bytes they claim to
-// bracket, and the output netlist is re-validated with the structural
+// every static untestability claim is re-derived structurally on its
+// stated snapshot (src/analysis/static_untestable.hpp), the journal
+// digests are recomputed from the BLIF bytes they claim to bracket, and
+// the output netlist is re-validated with the structural
 // NetworkChecker. A journal that ends "complete" while containing any
 // unknown-verdict step is rejected.
 //
@@ -33,6 +35,9 @@ struct VerifyReport {
   std::size_t steps_checked = 0;
   std::size_t certificates_checked = 0;
   std::size_t deletions_verified = 0;
+  /// Static untestability claims re-derived structurally (snapshot
+  /// parsed, dominator chain and implication closure recomputed).
+  std::size_t static_checked = 0;
 
   explicit operator bool() const { return ok; }
 };
@@ -46,8 +51,9 @@ VerifyReport verify_session(const ProofSession& session,
 
 /// Write the session as a standalone artifact directory:
 ///   input.blif, output.blif, journal.txt, q<N>.cnf + q<N>.drat per
-/// certificate. Creates `dir` (and parents) if needed. Throws
-/// std::runtime_error on I/O failure.
+/// DRAT certificate, s<N>.snap + s<N>.just per static certificate.
+/// Creates `dir` (and parents) if needed. Throws std::runtime_error on
+/// I/O failure.
 void write_artifacts(const ProofSession& session, const std::string& dir,
                      const std::string& input_blif,
                      const std::string& output_blif);

@@ -233,7 +233,9 @@ TEST(AtpgIncrementalTest, RemovalResultCountsActualSolves) {
   const auto r = remove_redundancies(net);
   EXPECT_EQ(r.sat_queries, r.atpg.sat_solves);
   EXPECT_EQ(r.structural_shortcuts, r.atpg.structural_shortcuts);
-  EXPECT_EQ(r.atpg.queries, r.atpg.sat_solves + r.atpg.structural_shortcuts);
+  EXPECT_EQ(r.static_discharged, r.atpg.static_discharged);
+  EXPECT_EQ(r.atpg.queries, r.atpg.sat_solves + r.atpg.structural_shortcuts +
+                                r.atpg.static_discharged);
 }
 
 TEST(AtpgIncrementalTest, WitnessDropsJournalledAndSessionVerifies) {

@@ -51,11 +51,38 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -L parallel --output-on-failure
 
-# Bench-smoke stage: run the seed-vs-incremental ATPG comparison on the
-# smallest circuit and validate the emitted BENCH_atpg.json against its
-# kms-bench-atpg-v1 schema. Fails on malformed or empty output, on a
-# removed-count mismatch between the engines, and on the incremental
-# engine issuing more SAT queries than the seed engine.
+# Static-analysis engine stage: the `analysis` label covers the
+# structural subsystem (levels, dominators, implications, SCOAP, fault
+# collapsing, snapshot round-trips) and the property suite that
+# cross-checks every SAT-free untestability verdict against the exact
+# SAT engine on the example corpus and random circuits. Run it by name
+# so a soundness regression in the pre-pass is called out even when a
+# filter in "$@" skipped it above.
+echo "== analysis-labelled tests (checked preset) =="
+ctest --preset checked -L analysis --output-on-failure
+
+# Bench-smoke stage: run the three-engine ATPG comparison (seed /
+# incremental / static pre-pass + incremental) on the quick circuits and
+# validate the emitted BENCH_atpg.json against its kms-bench-atpg-v2
+# schema. Fails on malformed or empty output, on any removed-count or
+# digest mismatch between the engines, on the incremental engine issuing
+# more SAT queries than the seed engine, and on the static pre-pass
+# failing to avoid any SAT query across the suite.
 echo "== bench smoke: bench_atpg --json (checked preset) =="
 "$BUILD_DIR/bench/bench_atpg" --json "$CERT_DIR/BENCH_atpg.json" --quick
 python3 tools/validate_bench_atpg.py "$CERT_DIR/BENCH_atpg.json"
+
+# clang-tidy stage: bug-prone and performance checks over the analysis
+# subsystem and the files that consume it (config in .clang-tidy; the
+# `tidy` preset exports compile_commands.json). Gated on the tool being
+# installed — the stage is advisory infrastructure, not a hard CI
+# dependency, so environments without clang-tidy skip it with a notice
+# instead of failing.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy: src/analysis + consumers (tidy preset) =="
+  cmake --preset tidy
+  clang-tidy -p build-tidy --quiet \
+    src/analysis/*.cpp src/atpg/redundancy.cpp src/proof/journal.cpp
+else
+  echo "== clang-tidy not installed; skipping tidy stage =="
+fi

@@ -10,6 +10,13 @@
 //                longest path vs computed delay, with the critical path
 //   kmscli stats <in.blif>
 //                size/depth/interface summary
+//   kmscli analyze <in.blif> [--json]
+//                SAT-free static structural analysis: levels, post-
+//                dominators, SCOAP testability metrics, fault
+//                equivalence/dominance collapsing, static untestability
+//                verdicts, and the NL017-NL021 structural findings.
+//                --json emits the machine-readable report instead of
+//                text. (--analyze is accepted as an alias.)
 //
 // The --check flag runs the netlist invariant checker (src/check/) on
 // the input and after each transform stage, printing diagnostics to
@@ -42,6 +49,8 @@
 #include <iostream>
 #include <string>
 
+#include "src/analysis/report.hpp"
+#include "src/analysis/static_untestable.hpp"
 #include "src/atpg/atpg.hpp"
 #include "src/base/governor.hpp"
 #include "src/check/checker.hpp"
@@ -66,6 +75,7 @@ struct Args {
   std::string output;
   SensitizationMode mode = SensitizationMode::kStatic;
   bool check = false;
+  bool json = false;      // analyze: machine-readable report
   bool certify = false;   // verify the run in-process (irr only)
   std::string proof_dir;  // --emit-proof: artifact directory (irr only)
   double time_limit = 0;            // seconds; 0 = unlimited
@@ -76,8 +86,10 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: kmscli <irr|audit|delay|stats> <in.blif> "
+               "usage: kmscli <irr|audit|delay|stats|analyze> <in.blif> "
                "[-o out.blif] [--mode static|viability] [--check]\n"
+               "              [--json]                             "
+               "(analyze only)\n"
                "              [--time-limit <sec>] [--conflict-limit <n>] "
                "[--jobs <n>]\n"
                "              [--certify] [--emit-proof <dir>]   (irr only)\n"
@@ -108,6 +120,8 @@ bool parse_args(int argc, char** argv, Args* args) {
       }
     } else if (a == "--check") {
       args->check = true;
+    } else if (a == "--json") {
+      args->json = true;
     } else if (a == "--certify") {
       args->certify = true;
     } else if (a == "--emit-proof" && i + 1 < argc) {
@@ -223,6 +237,19 @@ int cmd_delay(const Args& args) {
   return finish_governed(args, 0);
 }
 
+int cmd_analyze(const Args& args) {
+  BlifSequential model = load(args.input);
+  check_stage(args, model.comb, "input");
+  decompose_to_simple(model.comb);
+  check_stage(args, model.comb, "decompose_to_simple");
+  const analysis::AnalysisReport rep = analysis::run_analysis(model.comb);
+  if (args.json)
+    rep.print_json(std::cout);
+  else
+    rep.print_text(std::cout);
+  return 0;
+}
+
 int cmd_audit(const Args& args) {
   BlifSequential model = load(args.input);
   check_stage(args, model.comb, "input");
@@ -230,6 +257,18 @@ int cmd_audit(const Args& args) {
   check_stage(args, model.comb, "decompose_to_simple");
   const auto faults = collapsed_faults(model.comb);
   Atpg atpg(model.comb, args.governor);
+  // Static pre-pass: faults the dominator/implication engine proves
+  // untestable are discharged without a SAT solve (and without
+  // spending governor budget on them).
+  const analysis::StaticUntestable stat(model.comb);
+  StaticOracle oracle;
+  for (const Fault& f : faults) {
+    const analysis::StaticResult r =
+        f.site == Fault::Site::kStem ? stat.analyze_stem(f.gate, f.stuck)
+                                     : stat.analyze_branch(f.conn, f.stuck);
+    if (r.untestable()) oracle.add(f, nullptr);
+  }
+  atpg.set_static_oracle(&oracle);
   std::size_t redundant = 0;
   std::size_t unresolved = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -255,9 +294,11 @@ int cmd_audit(const Args& args) {
   std::printf("sat conflicts  : %llu\n",
               static_cast<unsigned long long>(atpg.stats().sat_conflicts));
   const AtpgStats& as = atpg.stats();
-  std::printf("sat solves     : %llu (+%llu structural shortcuts)\n",
+  std::printf("sat solves     : %llu (+%llu structural shortcuts, "
+              "+%llu static pre-pass)\n",
               static_cast<unsigned long long>(as.sat_solves),
-              static_cast<unsigned long long>(as.structural_shortcuts));
+              static_cast<unsigned long long>(as.structural_shortcuts),
+              static_cast<unsigned long long>(as.static_discharged));
   if (as.sat_solves > 0)
     std::printf("cone gates     : %.1f avg, %llu max per solve\n",
                 static_cast<double>(as.cone_gates_encoded) /
@@ -309,9 +350,11 @@ int cmd_irr(const Args& args) {
       }
       std::fprintf(stderr,
                    "certified%s: %zu journal steps, %zu certificates, "
-                   "%zu deletions proof-backed\n",
+                   "%zu static claims re-derived, %zu deletions "
+                   "proof-backed\n",
                    rep.partial ? " (partial run)" : "", rep.steps_checked,
-                   rep.certificates_checked, rep.deletions_verified);
+                   rep.certificates_checked, rep.static_checked,
+                   rep.deletions_verified);
     }
   }
   std::fprintf(stderr,
@@ -325,12 +368,12 @@ int cmd_irr(const Args& args) {
     const RedundancyRemovalResult& r = stats.removal;
     std::fprintf(
         stderr,
-        "removal: %zu passes, %zu sat queries (+%zu structural), "
-        "%zu sim-dropped, %zu witness-dropped, %zu cache hits "
-        "(%zu invalidated), cone avg %.1f max %llu, "
+        "removal: %zu passes, %zu sat queries (+%zu structural, "
+        "+%zu static pre-pass), %zu sim-dropped, %zu witness-dropped, "
+        "%zu cache hits (%zu invalidated), cone avg %.1f max %llu, "
         "sim %.3fs sat %.3fs\n",
-        r.passes, r.sat_queries, r.structural_shortcuts, r.sim_dropped,
-        r.witness_dropped, r.cache_hits, r.cache_invalidated,
+        r.passes, r.sat_queries, r.structural_shortcuts, r.static_discharged,
+        r.sim_dropped, r.witness_dropped, r.cache_hits, r.cache_invalidated,
         r.atpg.sat_solves > 0
             ? static_cast<double>(r.atpg.cone_gates_encoded) /
                   static_cast<double>(r.atpg.sat_solves)
@@ -376,6 +419,8 @@ int main(int argc, char** argv) {
     if (args.command == "delay") return cmd_delay(args);
     if (args.command == "audit") return cmd_audit(args);
     if (args.command == "irr") return cmd_irr(args);
+    if (args.command == "analyze" || args.command == "--analyze")
+      return cmd_analyze(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

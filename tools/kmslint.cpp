@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/rules.hpp"
 #include "src/check/checker.hpp"
 #include "src/check/diagnostics.hpp"
 #include "src/check/hooks.hpp"
@@ -86,7 +87,13 @@ Diagnostics lint_file(const std::string& path, const Args& args) {
     const BlifSequential model = read_blif_sequential(in);
     CheckOptions opts;
     opts.warnings = args.warnings;
-    return NetworkChecker(opts).run(model.comb);
+    Diagnostics out = NetworkChecker(opts).run(model.comb);
+    // The analysis-backed rules (NL017-NL021, all warnings) assume the
+    // representation invariants hold; skip them on a structurally
+    // broken netlist rather than crash inside the analysis engine.
+    if (args.warnings && out.error_count() == 0)
+      analysis::run_analysis_rules(model.comb, &out);
+    return out;
   } catch (const BlifError& e) {
     Diagnostic d;
     d.rule = "NL900";
