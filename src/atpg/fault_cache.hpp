@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -77,6 +78,15 @@ class ShardedFaultCache {
   /// gates. Coordinator-only: must not race classification. Returns the
   /// number of entries invalidated.
   std::size_t invalidate(const Network& net, const TransformTrace& trace);
+
+  /// Serialize the cache as sorted "key:source" hex lines for a
+  /// checkpoint. Sorted so equal cache contents always serialize to
+  /// equal bytes regardless of insertion order.
+  std::string save_state() const;
+
+  /// Replace the contents with a save_state() string. Throws
+  /// std::runtime_error on malformed input.
+  void load_state(const std::string& state);
 
  private:
   struct Shard {

@@ -162,6 +162,34 @@ void journal_deletion(proof::ProofSession& session, const std::string& what,
 
 // ---- sequential engines (jobs == 1): seed and incremental ----------------
 
+/// Restore a committed pass-boundary state into the engine-local
+/// (result, rng, cache) triple. Shared by both engines; a cleared
+/// `aborted` lets the resumed run finish what the crashed one could not.
+void apply_resume(const RemovalResume& resume, RedundancyRemovalResult& result,
+                  Rng& rng, ShardedFaultCache& cache) {
+  result = resume.base;
+  result.aborted = false;
+  if (!resume.rng_state.empty()) rng.load_state(resume.rng_state);
+  cache.load_state(resume.cache_state);
+}
+
+/// Announce one committed removal pass to the durability layer. Called
+/// only between passes (coordinator thread, no worker running), so the
+/// sink may serialize the cache and walk the network freely.
+void commit_pass(const RunContext& ctx, const Network& net, const Rng& rng,
+                 const ShardedFaultCache& cache,
+                 const RedundancyRemovalResult& result) {
+  if (ctx.sink == nullptr) return;
+  recover::CommitPoint cp;
+  cp.net = &net;
+  cp.phase = "removal";
+  cp.cursor = result.passes;
+  cp.rng = &rng;
+  cp.cache = &cache;
+  cp.removal = &result;
+  ctx.sink->commit(cp);
+}
+
 RedundancyRemovalResult remove_sequential(Network& net,
                                           const RedundancyRemovalOptions& opts,
                                           const RunContext& ctx) {
@@ -170,6 +198,7 @@ RedundancyRemovalResult remove_sequential(Network& net,
   proof::ProofSession* const session = ctx.session;
   Rng rng(opts.seed);
   ShardedFaultCache cache;  // persists across passes (incremental engine)
+  if (opts.resume != nullptr) apply_resume(*opts.resume, result, rng, cache);
   for (;;) {
     if (gov && gov->should_stop()) {
       result.aborted = true;
@@ -259,6 +288,11 @@ RedundancyRemovalResult remove_sequential(Network& net,
     ws.atpg = atpg.stats();
     result.merge_worker(ws);
     if (!removed_one) break;
+    // A pass that committed a removal is a resumable unit: the network
+    // edit, its journal steps and the cache invalidation are all done.
+    // The final no-removal pass needs no commit — nothing changed, and
+    // a resumed run simply re-proves the fixpoint.
+    if (!result.aborted) commit_pass(ctx, net, rng, cache, result);
   }
   return result;
 }
@@ -282,6 +316,7 @@ RedundancyRemovalResult remove_parallel(Network& net,
   proof::ProofSession* const session = ctx.session;
   Rng rng(opts.seed);
   ShardedFaultCache cache;
+  if (opts.resume != nullptr) apply_resume(*opts.resume, result, rng, cache);
   ThreadPool pool(jobs);
   // Per-worker context: same governor (thread-safe), never the session —
   // workers capture certificates; only the coordinator journals.
@@ -467,6 +502,10 @@ RedundancyRemovalResult remove_parallel(Network& net,
     // testable ones persist only through the cache (which the edit
     // region just invalidated where stale) and untestable ones are
     // discarded entirely — the next pass re-proves any that remain.
+    // Commit point: pass barrier passed, removal applied, journal
+    // written — and no worker is running, so the sink sees quiescent
+    // state (a checkpoint can never land mid-speculation).
+    commit_pass(ctx, net, rng, cache, result);
   }
   return result;
 }

@@ -48,6 +48,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/atpg/atpg.hpp"
 #include "src/atpg/fault.hpp"
@@ -67,6 +68,8 @@ class ProofSession;
 /// delay of the circuit" — the policies exist to demonstrate exactly
 /// that (see bench_removal_order).
 enum class RemovalOrder { kForward, kReverse, kRandom };
+
+struct RemovalResume;
 
 struct RedundancyRemovalOptions {
   /// Use random-pattern fault simulation to pre-drop detectable faults
@@ -113,6 +116,11 @@ struct RedundancyRemovalOptions {
   /// Deprecated: set context.session instead. Honoured only when
   /// context.session is null.
   proof::ProofSession* session = nullptr;
+
+  /// Resume a crashed run from a committed pass boundary (the network
+  /// must already be replayed to that state; see src/recover/). Null
+  /// (the default) starts from scratch.
+  const RemovalResume* resume = nullptr;
 
   /// The effective context: `context` with null governor/session filled
   /// in from the deprecated raw fields. Every consumer resolves through
@@ -170,6 +178,18 @@ struct RedundancyRemovalResult {
   /// Fold one worker's pass-local counters in. The only place worker
   /// observations reach this struct.
   void merge_worker(const RemovalWorkerStats& w);
+};
+
+/// Pass-boundary state of a crashed removal run, as restored by the
+/// resume path: the committed counters plus the serialized scan rng and
+/// cross-pass fault cache. The engines pick up at the next pass; since
+/// every skip the cache licenses is backed by positive testability
+/// evidence and the rng stream resumes exactly where it stopped, the
+/// continued run removes the identical fault sequence at any job count.
+struct RemovalResume {
+  RedundancyRemovalResult base;  ///< counters as of the committed pass
+  std::string rng_state;         ///< Rng::save_state() at the boundary
+  std::string cache_state;       ///< ShardedFaultCache::save_state()
 };
 
 /// Remove every single stuck-at redundancy from `net` (in first-found

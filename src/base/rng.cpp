@@ -1,5 +1,8 @@
 #include "src/base/rng.hpp"
 
+#include <cstdio>
+#include <stdexcept>
+
 namespace kms {
 namespace {
 
@@ -49,5 +52,27 @@ double Rng::next_double() {
 }
 
 bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::string Rng::save_state() const {
+  char buf[4 * 16 + 4];
+  std::snprintf(buf, sizeof(buf), "%016llx:%016llx:%016llx:%016llx",
+                static_cast<unsigned long long>(s_[0]),
+                static_cast<unsigned long long>(s_[1]),
+                static_cast<unsigned long long>(s_[2]),
+                static_cast<unsigned long long>(s_[3]));
+  return buf;
+}
+
+void Rng::load_state(const std::string& state) {
+  unsigned long long w[4];
+  char tail = '\0';
+  if (state.size() != 4 * 16 + 3 ||
+      std::sscanf(state.c_str(), "%16llx:%16llx:%16llx:%16llx%c", &w[0], &w[1],
+                  &w[2], &w[3], &tail) != 4) {
+    throw std::runtime_error("Rng::load_state: malformed state '" + state +
+                             "'");
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = w[i];
+}
 
 }  // namespace kms

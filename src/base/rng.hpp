@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace kms {
 
@@ -25,6 +26,14 @@ class Rng {
 
   /// Bernoulli draw with probability p.
   bool next_bool(double p = 0.5);
+
+  /// Full 256-bit state as 4 fixed-width hex words ("s0:s1:s2:s3"), for
+  /// checkpointing: load_state(save_state()) resumes the exact stream.
+  std::string save_state() const;
+
+  /// Restore a save_state() string. Throws std::runtime_error on
+  /// malformed input (a corrupted checkpoint must not silently reseed).
+  void load_state(const std::string& state);
 
  private:
   std::uint64_t s_[4];

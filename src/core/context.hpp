@@ -26,15 +26,56 @@
 // `const RunContext&` without linking against kms_core.
 #pragma once
 
+#include <cstdint>
 #include <thread>
 
 namespace kms {
 
 class ResourceGovernor;
+class Rng;
+class ShardedFaultCache;
+class Network;
+struct KmsStats;
+struct RedundancyRemovalResult;
 
 namespace proof {
 class ProofSession;
 }  // namespace proof
+
+namespace recover {
+
+/// One committed, resumable state of the pipeline, announced to the
+/// durability layer (src/recover/) at the deterministic points of the
+/// PR-5 commit protocol: the end of a KMS loop iteration, the end of a
+/// removal pass, and the phase boundaries between them. Never
+/// mid-speculation — with jobs > 1 the sink is invoked only on the
+/// coordinator thread, after the pass barrier, while no worker runs.
+struct CommitPoint {
+  const Network* net = nullptr;
+  const char* phase = "";     ///< "loop" | "removal"
+  std::uint64_t cursor = 0;   ///< loop iterations done | removal passes done
+  /// Removal-phase scan rng and cross-pass fault cache; null in the
+  /// loop phase (which draws no randomness and caches nothing). The
+  /// sink serializes them only when it actually takes a checkpoint.
+  const Rng* rng = nullptr;
+  const ShardedFaultCache* cache = nullptr;
+  const KmsStats* kms = nullptr;  ///< loop/boundary stats, if at that level
+  const RedundancyRemovalResult* removal = nullptr;  ///< removal stats
+};
+
+/// Durability hook the engines drive. commit() marks a committed unit
+/// of work (the sink decides whether to spend a full checkpoint on it —
+/// the --checkpoint-every cadence); checkpoint() forces one (phase
+/// boundaries). Both are fsync barriers: when they return, the
+/// announced state is durable.
+class CommitSink {
+ public:
+  virtual ~CommitSink() = default;
+  virtual void commit(const CommitPoint& point) = 0;
+  virtual void checkpoint(const CommitPoint& point) = 0;
+};
+
+}  // namespace recover
 
 struct RunContext {
   /// Shared wall-clock deadline, global conflict/propagation budgets and
@@ -52,6 +93,12 @@ struct RunContext {
   /// Run the netlist invariant checker between pipeline phases and
   /// throw CheckFailure on a violation.
   bool check_invariants = false;
+
+  /// Crash-safety hook: when set, the engines announce every committed
+  /// state (loop iteration / removal pass / phase boundary) so the
+  /// durability layer can journal and checkpoint it. Coordinator-thread
+  /// only; null means no persistence.
+  recover::CommitSink* sink = nullptr;
 
   /// Worker count for fault-level parallel phases. 1 (the default)
   /// preserves the sequential engines exactly; 0 means one worker per

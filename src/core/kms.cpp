@@ -1,6 +1,7 @@
 #include "src/core/kms.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "src/base/log.hpp"
 #include "src/check/checker.hpp"
@@ -69,20 +70,43 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   };
   checkpoint("kms:input");
   proof::ProofSession* const session = ctx.session;
-  stats.decomposed_complex = decompose_to_simple(net);
-  checkpoint("kms:decompose_to_simple");
-  if (session && stats.decomposed_complex > 0)
-    session->journal.add_decompose(stats.decomposed_complex);
+  const KmsResumeState* const res = opts.resume;
+  std::size_t base_unknown = 0;
+  if (res != nullptr) {
+    // Resumed run: the caller already replayed the journal prefix onto
+    // `net` (decomposition included) and restored the committed
+    // counters; skip straight to where the crashed run left off. The
+    // initial delay/size columns were measured before the crash and
+    // travel in the restored stats.
+    stats = res->stats;
+    base_unknown = stats.unknown_queries;
+  } else {
+    stats.decomposed_complex = decompose_to_simple(net);
+    checkpoint("kms:decompose_to_simple");
+    if (session && stats.decomposed_complex > 0)
+      session->journal.add_decompose(stats.decomposed_complex);
 
-  stats.initial_gates = net.count_gates();
-  stats.initial_topo_delay = topological_delay(net);
-  stats.initial_max_fanout = net.max_fanout();
-  {
-    const DelayReport r = computed_delay(net, opts.mode, opts.max_queries, gov);
-    stats.initial_computed_delay = r.delay;
+    stats.initial_gates = net.count_gates();
+    stats.initial_topo_delay = topological_delay(net);
+    stats.initial_max_fanout = net.max_fanout();
+    {
+      const DelayReport r =
+          computed_delay(net, opts.mode, opts.max_queries, gov);
+      stats.initial_computed_delay = r.delay;
+    }
+    if (ctx.sink != nullptr) {
+      // First resumable state: decomposed, measured, zero iterations.
+      recover::CommitPoint cp;
+      cp.net = &net;
+      cp.phase = "loop";
+      cp.cursor = 0;
+      cp.kms = &stats;
+      ctx.sink->checkpoint(cp);
+    }
   }
 
-  while (stats.iterations < opts.max_iterations) {
+  const bool run_loop = res == nullptr || res->phase == "loop";
+  while (run_loop && stats.iterations < opts.max_iterations) {
     // Bounded run: stop transforming the moment the governor trips.
     // Exiting the loop at any iteration is safe — the delay invariant
     // (Theorems 7.1/7.2) is maintained per iteration, not only at the
@@ -162,6 +186,17 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     checkpoint("kms:constant_propagation");
     ++stats.constants_set;
     ++stats.iterations;
+    if (ctx.sink != nullptr) {
+      // One loop iteration is one committed, replayable unit: every
+      // step of it is in the journal (the unsens verdict, the
+      // duplication, the constant) and the surgery is done.
+      recover::CommitPoint cp;
+      cp.net = &net;
+      cp.phase = "loop";
+      cp.cursor = stats.iterations;
+      cp.kms = &stats;
+      ctx.sink->commit(cp);
+    }
   }
 
   stats.iteration_cap_hit = stats.iterations >= opts.max_iterations;
@@ -174,6 +209,25 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     removal.context = ctx;
     removal.governor = nullptr;
     removal.session = nullptr;
+    RemovalResume rr;
+    if (res != nullptr && res->phase == "removal" && res->cursor > 0) {
+      rr.base = res->stats.removal;
+      rr.rng_state = res->rng_state;
+      rr.cache_state = res->cache_state;
+      removal.resume = &rr;
+    }
+    if (ctx.sink != nullptr &&
+        (res == nullptr || res->phase != "removal")) {
+      // Phase boundary: the loop is done (its exit step, if any, is in
+      // the journal) and removal has not started. A resumed removal
+      // phase already has this checkpoint on disk.
+      recover::CommitPoint cp;
+      cp.net = &net;
+      cp.phase = "removal";
+      cp.cursor = 0;
+      cp.kms = &stats;
+      ctx.sink->checkpoint(cp);
+    }
     const RedundancyRemovalResult r = remove_redundancies(net, removal);
     stats.redundancies_removed = r.removed;
     stats.removal = r;
@@ -189,14 +243,59 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   }
   if (gov) {
     const GovernorReport gr = gov->report();
-    stats.unknown_queries = gr.unknown_results - gov_base.unknown_results;
-    stats.deadline_hit = gr.deadline_hit;
-    stats.budget_exhausted = gr.budget_exhausted;
-    stats.interrupted = gr.interrupted;
-    stats.degraded = stats.unknown_queries > 0 || stats.deadline_hit ||
-                     stats.budget_exhausted || stats.interrupted;
+    // base_unknown carries a resumed run's pre-crash count; OR-ing the
+    // flags likewise keeps degradation observed before the crash.
+    stats.unknown_queries =
+        base_unknown + (gr.unknown_results - gov_base.unknown_results);
+    stats.deadline_hit = stats.deadline_hit || gr.deadline_hit;
+    stats.budget_exhausted = stats.budget_exhausted || gr.budget_exhausted;
+    stats.interrupted = stats.interrupted || gr.interrupted;
+    stats.degraded = stats.degraded || stats.unknown_queries > 0 ||
+                     stats.deadline_hit || stats.budget_exhausted ||
+                     stats.interrupted;
   }
   return stats;
+}
+
+KmsLoopTransform kms_replay_loop_transform(Network& net) {
+  // Mirrors one iteration of the loop above with the SAT query elided:
+  // the journal being replayed recorded the unsensitizability verdict,
+  // so only the structural surgery needs repeating. Path selection is a
+  // pure function of the network, hence identical to the original run.
+  PathEnumerator en(net);
+  auto chosen = en.next();
+  if (!chosen)
+    throw std::runtime_error(
+        "kms replay: no IO-path left to transform (journal does not match "
+        "this network)");
+  const Path path = std::move(*chosen);
+  std::ptrdiff_t n_index = -1;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(path.gates.size()) - 1;
+       i >= 0; --i) {
+    const GateId g = path.gates[static_cast<std::size_t>(i)];
+    if (net.gate(g).kind == GateKind::kOutput) continue;
+    if (live_fanout(net, g) > 1) {
+      n_index = i;
+      break;
+    }
+  }
+  KmsLoopTransform out;
+  std::size_t dup = 0;
+  const Path pp =
+      n_index >= 0
+          ? duplicate_prefix(net, path, static_cast<std::size_t>(n_index),
+                             &dup)
+          : path;
+  out.duplicated = dup;
+  const GateKind k0 = net.gate(pp.gates[0]).kind;
+  const bool value =
+      has_controlling_value(k0) ? controlling_value(k0) : false;
+  out.constant_conn = pp.conns[0].value();
+  net.set_conn_constant(pp.conns[0], value);
+  propagate_constants(net);
+  collapse_buffers(net);
+  net.sweep();
+  return out;
 }
 
 }  // namespace kms

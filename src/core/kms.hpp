@@ -27,6 +27,8 @@
 
 namespace kms {
 
+struct KmsResumeState;
+
 struct KmsOptions {
   /// Condition used in the while-loop test (Section VI: the user may
   /// choose static sensitization or viability; the delay proofs hold
@@ -80,6 +82,11 @@ struct KmsOptions {
   /// context.session is null.
   proof::ProofSession* session = nullptr;
 
+  /// Resume a crashed run from a restored checkpoint (the network must
+  /// already be replayed to that state; see src/recover/session.hpp).
+  /// Null (the default) runs from scratch.
+  const KmsResumeState* resume = nullptr;
+
   /// The effective context: `context` with the deprecated raw fields
   /// folded in. Every consumer resolves through this.
   RunContext run_context() const {
@@ -118,8 +125,37 @@ struct KmsStats {
   std::size_t initial_max_fanout = 0, final_max_fanout = 0;
 };
 
+/// Committed mid-run state of a previous kms_make_irredundant call, as
+/// reconstructed by the resume path (src/recover/session.cpp): the
+/// caller has already replayed the journal prefix onto the network and
+/// hands the engine the restored counters plus the removal-phase rng
+/// and fault-cache state. The run continues from here and produces a
+/// final result bit-identical to the uninterrupted run.
+struct KmsResumeState {
+  std::string phase;         ///< "loop" | "removal"
+  std::uint64_t cursor = 0;  ///< loop iterations done | removal passes done
+  KmsStats stats;            ///< counters as of the checkpoint
+  std::string rng_state;   ///< removal scan rng (Rng::save_state); "" = fresh
+  std::string cache_state; ///< fault cache (ShardedFaultCache::save_state)
+};
+
 /// Make `net` fully single-stuck-at testable without increasing its
 /// computed delay. Complex gates are decomposed first (Section VI).
 KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts = {});
+
+/// What one structural loop-iteration replay changed, for cross-checking
+/// against the journalled kDuplicate/kConstant steps.
+struct KmsLoopTransform {
+  std::uint64_t duplicated = 0;    ///< gates copied (0 = path had no
+                                   ///< multi-fanout gate)
+  std::uint64_t constant_conn = 0; ///< conn id of the asserted first edge
+};
+
+/// Resume replay: re-select the current longest path exactly as
+/// kms_make_irredundant would and apply the duplicate+constant transform
+/// — no SAT (the journal already recorded the unsensitizability verdict)
+/// and no journaling. Throws std::runtime_error when no IO-path exists
+/// (a replay/journal mismatch).
+KmsLoopTransform kms_replay_loop_transform(Network& net);
 
 }  // namespace kms

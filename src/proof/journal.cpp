@@ -106,19 +106,22 @@ bool TransformJournal::partial() const {
   return false;
 }
 
+std::string format_step(const JournalStep& s) {
+  std::ostringstream out;
+  out << journal_kind_name(s.kind);
+  if (s.proof >= 0) out << " proof=" << s.proof;
+  if (s.count != 0) out << " count=" << s.count;
+  if (!s.what.empty()) out << " what=" << quote(s.what);
+  if (!s.just.empty()) out << " just=" << quote(s.just);
+  return out.str();
+}
+
 void TransformJournal::write(std::ostream& out) const {
   out << "kms-journal v1\n";
   out << "model " << quote(model_) << "\n";
   out << str_format("input-digest %016llx\n",
                     static_cast<unsigned long long>(input_digest_));
-  for (const JournalStep& s : steps_) {
-    out << "step " << journal_kind_name(s.kind);
-    if (s.proof >= 0) out << " proof=" << s.proof;
-    if (s.count != 0) out << " count=" << s.count;
-    if (!s.what.empty()) out << " what=" << quote(s.what);
-    if (!s.just.empty()) out << " just=" << quote(s.just);
-    out << "\n";
-  }
+  for (const JournalStep& s : steps_) out << "step " << format_step(s) << "\n";
   out << str_format("output-digest %016llx\n",
                     static_cast<unsigned long long>(output_digest_));
   out << "end " << (partial() ? "partial" : "complete") << "\n";
@@ -162,6 +165,61 @@ std::uint64_t parse_hex(const std::string& s) {
 
 }  // namespace
 
+JournalStep parse_step(const std::string& text) {
+  std::istringstream ls(text);
+  std::string kind_name;
+  ls >> kind_name;
+  if (kind_name == "step") ls >> kind_name;
+  JournalStep step;
+  bool known = false;
+  for (const KindName& kn : kKindNames) {
+    if (kind_name == kn.name) {
+      step.kind = kn.kind;
+      known = true;
+      break;
+    }
+  }
+  if (!known)
+    throw std::runtime_error("journal: unknown step kind '" + kind_name + "'");
+  // Scan the raw line key=value style: quoted values contain spaces, so
+  // a stream tokenizer cannot walk past them (the old parser simply
+  // stopped at what=; just= forces a real scan).
+  std::size_t pos = text.find(kind_name) + kind_name.size();
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    const std::size_t eq = text.find('=', pos);
+    if (eq == std::string::npos)
+      throw std::runtime_error("journal: malformed step field in '" + text +
+                               "'");
+    const std::string key = text.substr(pos, eq - pos);
+    if (key.find(' ') != std::string::npos)
+      throw std::runtime_error("journal: malformed step field '" + key + "'");
+    pos = eq + 1;
+    std::string value;
+    if (pos < text.size() && text[pos] == '"') {
+      value = parse_quoted(text, pos);
+    } else {
+      const std::size_t end = text.find(' ', pos);
+      value = text.substr(
+          pos, end == std::string::npos ? std::string::npos : end - pos);
+      pos = end == std::string::npos ? text.size() : end;
+    }
+    if (key == "proof") {
+      step.proof = std::stoll(value);
+    } else if (key == "count") {
+      step.count = std::stoull(value);
+    } else if (key == "what") {
+      step.what = value;
+    } else if (key == "just") {
+      step.just = value;
+    } else {
+      throw std::runtime_error("journal: unknown field '" + key + "'");
+    }
+  }
+  return step;
+}
+
 TransformJournal TransformJournal::read(std::istream& in) {
   TransformJournal j;
   std::string line;
@@ -192,58 +250,7 @@ TransformJournal TransformJournal::read(std::istream& in) {
       declared_partial = (word == "partial");
       ended = true;
     } else if (word == "step") {
-      std::string kind_name;
-      ls >> kind_name;
-      JournalStep step;
-      bool known = false;
-      for (const KindName& kn : kKindNames) {
-        if (kind_name == kn.name) {
-          step.kind = kn.kind;
-          known = true;
-          break;
-        }
-      }
-      if (!known)
-        throw std::runtime_error("journal: unknown step kind '" + kind_name +
-                                 "'");
-      // Scan the raw line key=value style: quoted values contain
-      // spaces, so a stream tokenizer cannot walk past them (the old
-      // parser simply stopped at what=; just= forces a real scan).
-      std::size_t pos = line.find(kind_name) + kind_name.size();
-      while (pos < line.size()) {
-        while (pos < line.size() && line[pos] == ' ') ++pos;
-        if (pos >= line.size()) break;
-        const std::size_t eq = line.find('=', pos);
-        if (eq == std::string::npos)
-          throw std::runtime_error("journal: malformed step field in '" +
-                                   line + "'");
-        const std::string key = line.substr(pos, eq - pos);
-        if (key.find(' ') != std::string::npos)
-          throw std::runtime_error("journal: malformed step field '" + key +
-                                   "'");
-        pos = eq + 1;
-        std::string value;
-        if (pos < line.size() && line[pos] == '"') {
-          value = parse_quoted(line, pos);
-        } else {
-          const std::size_t end = line.find(' ', pos);
-          value = line.substr(
-              pos, end == std::string::npos ? std::string::npos : end - pos);
-          pos = end == std::string::npos ? line.size() : end;
-        }
-        if (key == "proof") {
-          step.proof = std::stoll(value);
-        } else if (key == "count") {
-          step.count = std::stoull(value);
-        } else if (key == "what") {
-          step.what = value;
-        } else if (key == "just") {
-          step.just = value;
-        } else {
-          throw std::runtime_error("journal: unknown field '" + key + "'");
-        }
-      }
-      j.steps_.push_back(std::move(step));
+      j.steps_.push_back(parse_step(line));
     } else {
       throw std::runtime_error("journal: unexpected line '" + line + "'");
     }

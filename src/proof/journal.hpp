@@ -64,6 +64,17 @@ struct JournalStep {
 /// Stable text name of a step kind ("delete", "fault-untestable", ...).
 const char* journal_kind_name(JournalStep::Kind k);
 
+/// One step as its canonical journal line body — the text after "step "
+/// in write()'s output, no trailing newline. The write-ahead log
+/// (src/recover/) persists committed steps in exactly this form so a
+/// resumed session rebuilds a byte-identical journal.
+std::string format_step(const JournalStep& step);
+
+/// Inverse of format_step (also accepts a leading "step " prefix).
+/// Throws std::runtime_error on unknown kinds, bad quoting or unknown
+/// fields — a corrupted record must never parse into a plausible step.
+JournalStep parse_step(const std::string& text);
+
 class TransformJournal {
  public:
   void set_model(std::string name) { model_ = std::move(name); }

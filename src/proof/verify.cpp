@@ -8,6 +8,7 @@
 
 #include "src/analysis/snapshot.hpp"
 #include "src/analysis/static_untestable.hpp"
+#include "src/base/durable.hpp"
 #include "src/base/strings.hpp"
 #include "src/check/checker.hpp"
 #include "src/netlist/blif.hpp"
@@ -24,12 +25,6 @@ std::string slurp(const fs::path& p) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
-}
-
-void spit(const fs::path& p, const std::string& bytes) {
-  std::ofstream out(p, std::ios::binary);
-  out << bytes;
-  if (!out) throw std::runtime_error("cannot write " + p.string());
 }
 
 }  // namespace
@@ -250,31 +245,42 @@ VerifyReport verify_session(const ProofSession& session,
   return rep;
 }
 
+void write_certificate_files(const ProofSession& session,
+                             const std::string& dir, std::size_t first_drat,
+                             std::size_t first_static) {
+  const fs::path root(dir);
+  const auto& certs = session.certificates();
+  for (std::size_t i = first_drat; i < certs.size(); ++i) {
+    std::ostringstream cnf;
+    write_cnf(certs[i], cnf);
+    atomic_write_file((root / str_format("q%zu.cnf", i)).string(), cnf.str());
+    std::ostringstream drat;
+    write_drat(certs[i], drat);
+    atomic_write_file((root / str_format("q%zu.drat", i)).string(),
+                      drat.str());
+  }
+  const auto& scerts = session.static_certificates();
+  for (std::size_t i = first_static; i < scerts.size(); ++i) {
+    atomic_write_file((root / str_format("s%zu.snap", i)).string(),
+                      scerts[i].snapshot ? *scerts[i].snapshot
+                                         : std::string());
+    atomic_write_file((root / str_format("s%zu.just", i)).string(),
+                      scerts[i].justification);
+  }
+}
+
 void write_artifacts(const ProofSession& session, const std::string& dir,
                      const std::string& input_blif,
                      const std::string& output_blif) {
   const fs::path root(dir);
   fs::create_directories(root);
-  spit(root / "input.blif", input_blif);
-  spit(root / "output.blif", output_blif);
-  spit(root / "journal.txt", session.journal.to_text());
-  const auto& certs = session.certificates();
-  for (std::size_t i = 0; i < certs.size(); ++i) {
-    {
-      std::ofstream cnf(root / str_format("q%zu.cnf", i));
-      write_cnf(certs[i], cnf);
-      if (!cnf) throw std::runtime_error("cannot write certificate cnf");
-    }
-    std::ofstream drat(root / str_format("q%zu.drat", i));
-    write_drat(certs[i], drat);
-    if (!drat) throw std::runtime_error("cannot write certificate drat");
-  }
-  const auto& scerts = session.static_certificates();
-  for (std::size_t i = 0; i < scerts.size(); ++i) {
-    spit(root / str_format("s%zu.snap", i),
-         scerts[i].snapshot ? *scerts[i].snapshot : std::string());
-    spit(root / str_format("s%zu.just", i), scerts[i].justification);
-  }
+  // Every artifact goes through write-temp-then-rename: a crash mid-run
+  // can leave a file missing (or a stray .tmp), never a torn one.
+  atomic_write_file((root / "input.blif").string(), input_blif);
+  atomic_write_file((root / "output.blif").string(), output_blif);
+  atomic_write_file((root / "journal.txt").string(),
+                    session.journal.to_text());
+  write_certificate_files(session, dir, 0, 0);
 }
 
 VerifyReport verify_artifact_dir(const std::string& dir) {

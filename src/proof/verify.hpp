@@ -58,6 +58,15 @@ void write_artifacts(const ProofSession& session, const std::string& dir,
                      const std::string& input_blif,
                      const std::string& output_blif);
 
+/// Durably (atomic write-temp-then-rename) write the certificate files
+/// q<N>.cnf/.drat and s<N>.snap/.just for indices >= first_drat /
+/// first_static. The incremental-persistence entry the crash-safe
+/// session layer (src/recover/) uses at each commit: already-durable
+/// certificates are never rewritten.
+void write_certificate_files(const ProofSession& session,
+                             const std::string& dir, std::size_t first_drat,
+                             std::size_t first_static);
+
 /// Load an artifact directory written by write_artifacts() and verify
 /// it. All parse errors are reported through the VerifyReport (never
 /// thrown) so a corrupted artifact cannot crash the checker.

@@ -1,0 +1,292 @@
+// Crash-equivalence property suite for the durable session layer.
+//
+// The property: a proof-carrying KMS run killed at ANY durability kill
+// point (every fsync / rename boundary of the WAL, checkpoint and
+// artifact writes), then resumed from its artifact directory, produces
+// a final result bit-identical to the uninterrupted run — output BLIF
+// bytes, removed-fault counts, and (at jobs=1, where certificate
+// content is schedule-independent) the journal bytes; the finalized
+// artifact directory passes the independent checker either way.
+//
+// The harness enumerates the reachable kill points with a counting
+// reference run, then for each index arms KillMode::kThrow (a simulated
+// in-process crash that unwinds exactly where a SIGKILL would have cut)
+// and replays crash → resume → compare. A crash before the session's
+// meta record is durable legitimately has nothing to resume — the
+// harness asserts the error is precise and restarts from the source,
+// exactly as a user would. A crash after the final record is a
+// completed session — resume must refuse and the artifacts must already
+// verify.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/base/durable.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/netlist/blif.hpp"
+#include "src/proof/journal.hpp"
+#include "src/proof/verify.hpp"
+#include "src/recover/session.hpp"
+
+namespace kms {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct RunResult {
+  bool crashed = false;
+  std::string output;  ///< write_blif_string of the final network
+  KmsStats stats;
+};
+
+/// The durable pipeline exactly as `kmscli irr --emit-proof` drives it,
+/// in-process so KillMode::kThrow can cut it at any boundary.
+RunResult run_fresh(const std::string& dir, const std::string& source,
+                    unsigned jobs, std::uint64_t checkpoint_every) {
+  RunResult rr;
+  try {
+    BlifSequential model = read_blif_sequential_string(source);
+    proof::ProofSession session;
+    const std::string proof_input = write_blif_string(model.comb);
+    session.journal.set_model(model.comb.name());
+    session.journal.set_input_digest(proof::digest_bytes(proof_input));
+    KmsOptions opts;
+    const recover::SessionMeta meta =
+        recover::make_meta(model.comb.name(), opts, jobs, checkpoint_every,
+                           proof::digest_bytes(source));
+    recover::DurableSession dur =
+        recover::DurableSession::create(dir, meta, source, &session);
+    opts.context.session = &session;
+    opts.context.sink = &dur;
+    opts.context.jobs = jobs;
+    rr.stats = kms_make_irredundant(model.comb, opts);
+    rr.output = write_blif_string(model.comb);
+    session.journal.set_output_digest(proof::digest_bytes(rr.output));
+    dur.finalize(proof_input, rr.output);
+  } catch (const CrashInjected&) {
+    rr.crashed = true;
+  }
+  return rr;
+}
+
+/// Resume a crashed directory. Throws what prepare_resume throws (the
+/// caller decides what a refusal means for the property).
+RunResult run_resume(const std::string& dir, unsigned jobs) {
+  RunResult rr;
+  recover::ResumeSetup rs = recover::prepare_resume(dir);
+  try {
+    recover::DurableSession dur =
+        recover::DurableSession::attach(dir, rs.info, &rs.session);
+    KmsOptions opts;
+    recover::apply_meta(rs.info.meta, &opts);
+    if (rs.info.has_checkpoint) opts.resume = &rs.state;
+    opts.context.session = &rs.session;
+    opts.context.sink = &dur;
+    opts.context.jobs = jobs;
+    rr.stats = kms_make_irredundant(rs.model.comb, opts);
+    rr.output = write_blif_string(rs.model.comb);
+    rs.session.journal.set_output_digest(proof::digest_bytes(rr.output));
+    dur.finalize(rs.proof_input, rr.output);
+  } catch (const CrashInjected&) {
+    rr.crashed = true;
+  }
+  return rr;
+}
+
+/// Errors that only a crash BEFORE the first committed record can
+/// produce: the directory holds no session yet, so "resume" means
+/// starting over from the original source — anything else is a bug.
+bool never_started(const std::string& msg) {
+  return msg.find("cannot open") != std::string::npos ||
+         msg.find("holds no committed records") != std::string::npos ||
+         msg.find("does not start with a meta record") != std::string::npos;
+}
+
+/// After a crash: resume if a session was committed, restart if not,
+/// accept a completed session as-is. Returns the final output bytes.
+std::string finish_after_crash(const std::string& dir,
+                               const std::string& source, unsigned jobs,
+                               std::uint64_t checkpoint_every) {
+  try {
+    const RunResult r = run_resume(dir, jobs);
+    EXPECT_FALSE(r.crashed) << "resume crashed with kill points disarmed";
+    return r.output;
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    if (msg.find("nothing to resume") != std::string::npos) {
+      // The crash hit after the final record: session is complete.
+      return slurp(dir + "/output.blif");
+    }
+    if (!never_started(msg)) throw;  // a real resume bug — fail the test
+    fs::remove_all(dir);
+    const RunResult r = run_fresh(dir, source, jobs, checkpoint_every);
+    EXPECT_FALSE(r.crashed);
+    return r.output;
+  }
+}
+
+std::string carry_skip_source() {
+  const Network net = carry_skip_adder(3, 3);
+  return write_blif_string(net);
+}
+
+class CrashResumeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    kill_points_configure(KillMode::kOff);
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+/// The core property at jobs=1, checkpoint every commit: crash at every
+/// reachable kill point, resume, require bit-identical output AND
+/// byte-identical journal, and a verifying artifact directory.
+TEST_F(CrashResumeTest, EveryKillPointResumesIdenticallyJobs1) {
+  const std::string source = carry_skip_source();
+  dir_ = temp_dir("crash_resume_j1");
+  fs::remove_all(dir_);
+
+  kill_points_configure(KillMode::kCount);
+  const RunResult ref = run_fresh(dir_, source, /*jobs=*/1, /*every=*/1);
+  const std::uint64_t total = kill_points_seen();
+  kill_points_configure(KillMode::kOff);
+  ASSERT_FALSE(ref.crashed);
+  ASSERT_GT(total, 10u);
+  const std::string ref_journal = slurp(dir_ + "/journal.txt");
+  ASSERT_FALSE(ref_journal.empty());
+  ASSERT_TRUE(proof::verify_artifact_dir(dir_).ok);
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    fs::remove_all(dir_);
+    kill_points_configure(KillMode::kThrow, k);
+    const RunResult crashed = run_fresh(dir_, source, 1, 1);
+    kill_points_configure(KillMode::kOff);
+    ASSERT_TRUE(crashed.crashed) << "kill point " << k << " not reached";
+    const std::string out = finish_after_crash(dir_, source, 1, 1);
+    EXPECT_EQ(out, ref.output) << "output diverged after crash at " << k;
+    EXPECT_EQ(slurp(dir_ + "/journal.txt"), ref_journal)
+        << "journal diverged after crash at " << k;
+    const proof::VerifyReport rep = proof::verify_artifact_dir(dir_);
+    EXPECT_TRUE(rep.ok) << "crash at " << k << ": " << rep.error;
+  }
+}
+
+/// Same property at jobs=4 (checkpoint every 2 commits for cadence
+/// diversity). Certificate bytes are schedule-dependent across workers,
+/// so the assertion is output bits + removal counts + an artifact
+/// directory that verifies — not journal byte-equality.
+TEST_F(CrashResumeTest, EveryKillPointResumesIdenticallyJobs4) {
+  const std::string source = carry_skip_source();
+  dir_ = temp_dir("crash_resume_j4");
+  fs::remove_all(dir_);
+
+  kill_points_configure(KillMode::kCount);
+  const RunResult ref = run_fresh(dir_, source, /*jobs=*/4, /*every=*/2);
+  const std::uint64_t total = kill_points_seen();
+  kill_points_configure(KillMode::kOff);
+  ASSERT_FALSE(ref.crashed);
+  ASSERT_TRUE(proof::verify_artifact_dir(dir_).ok);
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    fs::remove_all(dir_);
+    kill_points_configure(KillMode::kThrow, k);
+    const RunResult crashed = run_fresh(dir_, source, 4, 2);
+    kill_points_configure(KillMode::kOff);
+    ASSERT_TRUE(crashed.crashed) << "kill point " << k << " not reached";
+    const std::string out = finish_after_crash(dir_, source, 4, 2);
+    EXPECT_EQ(out, ref.output) << "output diverged after crash at " << k;
+    const proof::VerifyReport rep = proof::verify_artifact_dir(dir_);
+    EXPECT_TRUE(rep.ok) << "crash at " << k << ": " << rep.error;
+  }
+}
+
+/// Crashing the RESUME run too (a double crash) still converges.
+TEST_F(CrashResumeTest, DoubleCrashStillConverges) {
+  const std::string source = carry_skip_source();
+  dir_ = temp_dir("crash_resume_double");
+  fs::remove_all(dir_);
+
+  kill_points_configure(KillMode::kCount);
+  const RunResult ref = run_fresh(dir_, source, 1, 1);
+  const std::uint64_t total = kill_points_seen();
+  kill_points_configure(KillMode::kOff);
+  ASSERT_FALSE(ref.crashed);
+  const std::string ref_journal = slurp(dir_ + "/journal.txt");
+
+  // First crash mid-run, second crash early in the resume.
+  for (const std::uint64_t first : {total / 3, total / 2, total - 1}) {
+    if (first == 0) continue;
+    fs::remove_all(dir_);
+    kill_points_configure(KillMode::kThrow, first);
+    ASSERT_TRUE(run_fresh(dir_, source, 1, 1).crashed);
+    kill_points_configure(KillMode::kThrow, 3);
+    try {
+      const RunResult again = run_resume(dir_, 1);
+      EXPECT_TRUE(again.crashed);  // must not survive an armed kill point
+    } catch (const std::runtime_error&) {
+      // Crash #1 predated any committed record; nothing to re-crash.
+    }
+    kill_points_configure(KillMode::kOff);
+    const std::string out = finish_after_crash(dir_, source, 1, 1);
+    EXPECT_EQ(out, ref.output) << "double crash at " << first;
+    EXPECT_EQ(slurp(dir_ + "/journal.txt"), ref_journal);
+    EXPECT_TRUE(proof::verify_artifact_dir(dir_).ok);
+  }
+}
+
+/// Resume must reject a session whose source file was swapped out.
+TEST_F(CrashResumeTest, RejectsTamperedSource) {
+  const std::string source = carry_skip_source();
+  dir_ = temp_dir("crash_resume_tamper");
+  fs::remove_all(dir_);
+  kill_points_configure(KillMode::kCount);
+  const RunResult ref = run_fresh(dir_, source, 1, 1);
+  const std::uint64_t total = kill_points_seen();
+  kill_points_configure(KillMode::kThrow, total / 2);
+  fs::remove_all(dir_);
+  ASSERT_TRUE(run_fresh(dir_, source, 1, 1).crashed);
+  kill_points_configure(KillMode::kOff);
+  {
+    std::ofstream out(dir_ + "/source.blif", std::ios::trunc);
+    out << ".model forged\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n";
+  }
+  EXPECT_THROW(run_resume(dir_, 1), std::runtime_error);
+  (void)ref;
+}
+
+/// A completed session must refuse to resume.
+TEST_F(CrashResumeTest, RefusesToResumeCompletedSession) {
+  const std::string source = carry_skip_source();
+  dir_ = temp_dir("crash_resume_done");
+  fs::remove_all(dir_);
+  ASSERT_FALSE(run_fresh(dir_, source, 1, 1).crashed);
+  try {
+    run_resume(dir_, 1);
+    FAIL() << "resume of a completed session must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nothing to resume"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace kms

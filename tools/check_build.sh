@@ -51,6 +51,17 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -L parallel --output-on-failure
 
+# Crash-safety stage: the `crash` label covers the durability layer —
+# WAL framing with torn-tail/bit-flip fuzzing, checkpoint serialization
+# round-trips, the kill-point property suite (simulated crash at every
+# reachable fsync/commit/checkpoint boundary, resume, bit-identical
+# result at jobs 1 and 4), and the real-process e2e that sweeps
+# KMS_CRASH_AT over kmscli and lands genuine SIGKILLs, auditing every
+# resumed directory with kmsproof. Runs under the sanitizer build so a
+# resume-path memory bug fails CI here, named.
+echo "== crash-labelled tests (checked preset) =="
+ctest --preset checked -L crash --output-on-failure
+
 # Static-analysis engine stage: the `analysis` label covers the
 # structural subsystem (levels, dominators, implications, SCOAP, fault
 # collapsing, snapshot round-trips) and the property suite that

@@ -32,27 +32,41 @@
 // with `kmsproof <dir>`.
 //
 // Resource governance: --time-limit <sec> arms a wall-clock deadline and
-// --conflict-limit <n> a global SAT conflict budget; SIGINT requests a
-// graceful stop. All three degrade conservatively — an undecided fault
-// is kept, an undecided path counts as sensitizable — so the output (for
-// irr, still written) is always functionally equivalent; partial stats
-// are printed and the exit code is 3. A second SIGINT exits immediately.
+// --conflict-limit <n> a global SAT conflict budget; SIGINT or SIGTERM
+// requests a graceful stop. All three degrade conservatively — an
+// undecided fault is kept, an undecided path counts as sensitizable — so
+// the output (for irr, still written) is always functionally equivalent;
+// partial stats are printed and the exit code is 3. A second
+// SIGINT/SIGTERM exits immediately.
+//
+// Crash safety (irr with --emit-proof): the artifact directory doubles
+// as a durable session — source BLIF, a write-ahead log of every
+// committed journal step, and periodic checkpoints (--checkpoint-every
+// commits; phase boundaries always). A run killed at any instant is
+// continued with `kmscli irr --resume <dir>`, which replays the log to
+// the last checkpoint and produces a result bit-identical to the
+// uninterrupted run. See DESIGN.md §14.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on processing errors,
 // 3 on graceful degradation (valid partial result under a resource
-// limit or interrupt).
+// limit or interrupt), 130 on a second SIGINT/SIGTERM (immediate abort).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <system_error>
 
 #include "src/analysis/report.hpp"
 #include "src/analysis/static_untestable.hpp"
 #include "src/atpg/atpg.hpp"
 #include "src/base/governor.hpp"
+#include "src/base/durable.hpp"
 #include "src/check/checker.hpp"
 #include "src/check/hooks.hpp"
 #include "src/core/kms.hpp"
@@ -60,6 +74,7 @@
 #include "src/netlist/transform.hpp"
 #include "src/proof/journal.hpp"
 #include "src/proof/verify.hpp"
+#include "src/recover/session.hpp"
 #include "src/seq/seq_network.hpp"
 #include "src/timing/path.hpp"
 #include "src/timing/sensitize.hpp"
@@ -78,9 +93,12 @@ struct Args {
   bool json = false;      // analyze: machine-readable report
   bool certify = false;   // verify the run in-process (irr only)
   std::string proof_dir;  // --emit-proof: artifact directory (irr only)
+  std::string resume_dir;  // --resume: continue a crashed session
+  std::uint64_t checkpoint_every = 8;  // commits per checkpoint; 0 = phases only
   double time_limit = 0;            // seconds; 0 = unlimited
   std::int64_t conflict_limit = -1; // global SAT conflicts; -1 = unlimited
   unsigned jobs = 1;  // removal workers; 0 = hardware concurrency
+  bool jobs_set = false;  // --jobs given (a resume otherwise reuses meta)
   ResourceGovernor* governor = nullptr;  // installed by main()
 };
 
@@ -92,20 +110,31 @@ int usage() {
                "(analyze only)\n"
                "              [--time-limit <sec>] [--conflict-limit <n>] "
                "[--jobs <n>]\n"
-               "              [--certify] [--emit-proof <dir>]   (irr only)\n"
+               "              [--certify] [--emit-proof <dir>] "
+               "[--checkpoint-every <n>]   (irr only)\n"
+               "       kmscli irr --resume <dir> [-o out.blif] [--certify] "
+               "[--jobs <n>] ...\n"
                "--jobs: removal-phase worker threads (default 1; 0 = one "
                "per hardware thread);\n"
                "        the result is bit-identical at any worker count\n"
+               "--resume: continue a crashed --emit-proof session from its "
+               "artifact directory\n"
                "exit codes: 0 ok, 1 usage, 2 error, 3 degraded "
-               "(limit/SIGINT; output still valid)\n");
+               "(limit/SIGINT/SIGTERM; output still valid)\n");
   return 1;
 }
 
 bool parse_args(int argc, char** argv, Args* args) {
   if (argc < 3) return false;
   args->command = argv[1];
-  args->input = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int first_flag = 3;
+  if (argv[2][0] == '-' && argv[2][1] == '-') {
+    // Flag-only invocation (kmscli irr --resume <dir>): no input path.
+    first_flag = 2;
+  } else {
+    args->input = argv[2];
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "-o" && i + 1 < argc) {
       args->output = argv[++i];
@@ -126,6 +155,13 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->certify = true;
     } else if (a == "--emit-proof" && i + 1 < argc) {
       args->proof_dir = argv[++i];
+    } else if (a == "--resume" && i + 1 < argc) {
+      args->resume_dir = argv[++i];
+    } else if (a == "--checkpoint-every" && i + 1 < argc) {
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) return false;
+      args->checkpoint_every = static_cast<std::uint64_t>(n);
     } else if (a == "--time-limit" && i + 1 < argc) {
       char* end = nullptr;
       args->time_limit = std::strtod(argv[++i], &end);
@@ -141,19 +177,25 @@ bool parse_args(int argc, char** argv, Args* args) {
       const long long n = std::strtoll(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || n < 0 || n > 1024) return false;
       args->jobs = static_cast<unsigned>(n);
+      args->jobs_set = true;
     } else {
       return false;
     }
   }
+  // Exactly one of <in.blif> / --resume <dir> must name the work.
+  if (args->input.empty() && args->resume_dir.empty()) return false;
+  if (!args->input.empty() && !args->resume_dir.empty()) return false;
   return true;
 }
 
-/// SIGINT wiring: the handler only flips the governor's atomic flag
-/// (async-signal-safe); every solve then winds down cooperatively. A
-/// second SIGINT aborts hard for users who really mean it.
+/// SIGINT/SIGTERM wiring: the handler only flips the governor's atomic
+/// flag (async-signal-safe); every solve then winds down cooperatively —
+/// the run drains to its next commit point, checkpoints (in durable
+/// mode), writes its partial-but-valid output and exits 3. A second
+/// signal aborts hard for users who really mean it.
 ResourceGovernor* g_governor = nullptr;
 
-void handle_sigint(int) {
+void handle_stop_signal(int) {
   if (g_governor == nullptr || g_governor->interrupt_requested())
     std::_Exit(130);
   g_governor->request_interrupt();
@@ -193,6 +235,37 @@ BlifSequential load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw BlifError("cannot open " + path);
   return read_blif_sequential(in);
+}
+
+/// Read a file's raw bytes (durable sessions persist the exact source).
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw BlifError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// --emit-proof preflight: create the artifact directory and prove it
+/// is writable before any expensive work starts, with a diagnostic that
+/// names the actual problem instead of failing an hour in.
+void preflight_artifact_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("cannot create artifact directory '" + dir +
+                             "': " + ec.message());
+  if (!std::filesystem::is_directory(dir))
+    throw std::runtime_error("artifact path '" + dir +
+                             "' exists but is not a directory");
+  const std::string probe = dir + "/.kms-probe.tmp";
+  {
+    std::ofstream out(probe, std::ios::trunc);
+    if (!(out << "probe\n"))
+      throw std::runtime_error("artifact directory '" + dir +
+                               "' is not writable");
+  }
+  std::filesystem::remove(probe, ec);
 }
 
 void print_stats(const Network& net, std::size_t latches) {
@@ -312,38 +385,82 @@ int cmd_audit(const Args& args) {
 }
 
 int cmd_irr(const Args& args) {
-  BlifSequential model = load(args.input);
-  check_stage(args, model.comb, "input");
-  const bool proving = args.certify || !args.proof_dir.empty();
-  proof::ProofSession session;
+  const bool resuming = !args.resume_dir.empty();
+  // An artifact directory makes the run a durable session: the journal
+  // is write-ahead-logged and checkpointed so a killed run resumes.
+  const bool durable = resuming || !args.proof_dir.empty();
+  const bool proving = args.certify || durable;
+
+  BlifSequential model;
+  recover::ResumeSetup rs;  // owns the resume state across the run
+  proof::ProofSession own_session;
+  proof::ProofSession* session = resuming ? &rs.session : &own_session;
   std::string proof_input;
-  if (proving) {
-    // The journal brackets the combinational core the pipeline actually
-    // transforms, serialized before any transform runs.
-    proof_input = write_blif_string(model.comb);
-    session.journal.set_model(model.comb.name());
-    session.journal.set_input_digest(proof::digest_bytes(proof_input));
-  }
+  std::optional<recover::DurableSession> dur;
   KmsOptions opts;
-  opts.mode = args.mode;
+
+  if (resuming) {
+    rs = recover::prepare_resume(args.resume_dir);
+    model = std::move(rs.model);
+    proof_input = rs.proof_input;
+    // The session's recorded configuration wins: resume-time flags must
+    // not silently change what the result bits depend on. --jobs may
+    // differ — the result is worker-count invariant.
+    recover::apply_meta(rs.info.meta, &opts);
+    if (rs.info.has_checkpoint) opts.resume = &rs.state;
+    dur.emplace(
+        recover::DurableSession::attach(args.resume_dir, rs.info, session));
+    std::fprintf(
+        stderr, "resuming %s: phase %s, %llu steps, %llu removals committed\n",
+        args.resume_dir.c_str(),
+        rs.info.has_checkpoint ? rs.info.ckpt.phase.c_str() : "start",
+        static_cast<unsigned long long>(rs.info.steps.size()),
+        static_cast<unsigned long long>(
+            rs.info.has_checkpoint ? rs.info.ckpt.stats.removal.removed : 0));
+  } else {
+    opts.mode = args.mode;
+    std::string source_bytes;
+    if (durable) {
+      preflight_artifact_dir(args.proof_dir);
+      source_bytes = slurp_file(args.input);
+      model = read_blif_sequential_string(source_bytes);
+    } else {
+      model = load(args.input);
+    }
+    check_stage(args, model.comb, "input");
+    if (proving) {
+      // The journal brackets the combinational core the pipeline
+      // actually transforms, serialized before any transform runs.
+      proof_input = write_blif_string(model.comb);
+      session->journal.set_model(model.comb.name());
+      session->journal.set_input_digest(proof::digest_bytes(proof_input));
+    }
+    if (durable) {
+      const recover::SessionMeta meta = recover::make_meta(
+          model.comb.name(), opts, args.jobs, args.checkpoint_every,
+          proof::digest_bytes(source_bytes));
+      dur.emplace(recover::DurableSession::create(args.proof_dir, meta,
+                                                  source_bytes, session));
+    }
+  }
   // One RunContext configures the whole pipeline: governor, proof
   // session, invariant checkpoints between KMS loop phases (--check),
-  // and the removal-phase worker count (--jobs).
+  // the removal-phase worker count (--jobs) and the durability sink.
   opts.context.governor = args.governor;
-  opts.context.session = proving ? &session : nullptr;
+  opts.context.session = proving ? session : nullptr;
   opts.context.check_invariants = args.check;
-  opts.context.jobs = args.jobs;
+  opts.context.jobs =
+      resuming && !args.jobs_set ? rs.info.meta.jobs : args.jobs;
+  if (dur) opts.context.sink = &*dur;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
   check_stage(args, model.comb, "kms_make_irredundant");
   if (proving) {
     const std::string proof_output = write_blif_string(model.comb);
-    session.journal.set_output_digest(proof::digest_bytes(proof_output));
-    if (!args.proof_dir.empty())
-      proof::write_artifacts(session, args.proof_dir, proof_input,
-                             proof_output);
+    session->journal.set_output_digest(proof::digest_bytes(proof_output));
+    if (dur) dur->finalize(proof_input, proof_output);
     if (args.certify) {
       const proof::VerifyReport rep =
-          proof::verify_session(session, proof_input, proof_output);
+          proof::verify_session(*session, proof_input, proof_output);
       if (!rep) {
         std::fprintf(stderr, "certification FAILED: %s\n", rep.error.c_str());
         return 2;
@@ -413,7 +530,11 @@ int main(int argc, char** argv) {
     governor.set_conflict_limit(args.conflict_limit);
   args.governor = &governor;
   g_governor = &governor;
-  std::signal(SIGINT, handle_sigint);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  // Crash-injection harness hook (KMS_CRASH_AT=<n> kills the process at
+  // the n-th durability kill point); no-op outside the test suite.
+  kill_points_init_from_env();
   try {
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "delay") return cmd_delay(args);

@@ -20,6 +20,7 @@
 // forged artifacts).
 #include <cstdio>
 #include <fstream>
+#include <string>
 #include <string_view>
 
 #include "src/proof/checker.hpp"
@@ -67,6 +68,23 @@ int main(int argc, char** argv) {
   if (argc == 4 && std::string_view(argv[1]) == "--proof")
     return check_pair(argv[2], argv[3]);
   if (argc != 2 || argv[1][0] == '-') return usage();
+  {
+    // A directory with a write-ahead log but no finalized journal is a
+    // crashed durable session, not a forged artifact — say so precisely.
+    // (A *resumed* session finalizes the same complete artifact set as
+    // an uninterrupted run and is audited below as one logical run.)
+    const std::string dir = argv[1];
+    const bool has_wal = std::ifstream(dir + "/wal.log").good();
+    const bool has_journal = std::ifstream(dir + "/journal.txt").good();
+    if (has_wal && !has_journal) {
+      std::fprintf(stderr,
+                   "REJECTED: %s is an unfinished crashed session (wal.log "
+                   "present, journal.txt missing); continue it with "
+                   "`kmscli irr --resume %s`, then re-audit\n",
+                   dir.c_str(), dir.c_str());
+      return 2;
+    }
+  }
   const kms::proof::VerifyReport rep =
       kms::proof::verify_artifact_dir(argv[1]);
   if (!rep) {
