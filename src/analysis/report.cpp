@@ -1,6 +1,7 @@
 #include "src/analysis/report.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 
 #include "src/analysis/collapse.hpp"
@@ -9,6 +10,8 @@
 #include "src/analysis/rules.hpp"
 #include "src/analysis/scoap.hpp"
 #include "src/analysis/static_untestable.hpp"
+#include "src/timing/checker.hpp"
+#include "src/timing/sta.hpp"
 
 namespace kms::analysis {
 
@@ -64,7 +67,27 @@ AnalysisReport run_analysis(const Network& net) {
     }
   }
 
+  // Timing snapshot: one full pass, audited by the TimingChecker's
+  // semantic rules (a violation here means the timing subsystem itself
+  // is wrong — surfaced in the report rather than thrown, since analyze
+  // is a read-only diagnostic command).
+  const TimingTables timing = compute_timing(net);
+  r.delay = timing.delay;
+  bool any_slack = false;
+  for (GateId g : net.topo_order()) {
+    const double s = timing.slack[g.value()];
+    if (s == std::numeric_limits<double>::infinity() ||
+        s == -std::numeric_limits<double>::infinity())
+      continue;
+    if (!any_slack || s < r.min_slack) r.min_slack = s;
+    any_slack = true;
+    if (s <= 1e-9) ++r.critical_gates;
+  }
+  r.timing_violations = audit_timing_tables(net, timing).diagnostics
+                            .error_count();
+
   run_analysis_rules(net, &r.diagnostics);
+  run_timing_rules(net, &r.diagnostics);
   return r;
 }
 
@@ -84,6 +107,9 @@ void AnalysisReport::print_text(std::ostream& out) const {
       << static_untestable() << " untestable (" << unobservable
       << " unobservable, " << unexcitable << " unexcitable, " << blocked
       << " blocked)\n";
+  out << "  timing     : delay " << delay << ", min slack " << min_slack
+      << ", " << critical_gates << " critical gates, " << timing_violations
+      << " invariant violations\n";
   out << "  findings   : " << diagnostics.warning_count() << " warnings, "
       << diagnostics.error_count() << " errors\n";
   diagnostics.print_text(out, "  ");
@@ -103,6 +129,9 @@ void AnalysisReport::print_json(std::ostream& out) const {
       << ",\"unobservable\":" << unobservable << ",\"unexcitable\":"
       << unexcitable << ",\"blocked\":" << blocked << ",\"untestable\":"
       << static_untestable() << "},";
+  out << "\"timing\":{\"delay\":" << delay << ",\"min_slack\":" << min_slack
+      << ",\"critical_gates\":" << critical_gates
+      << ",\"invariant_violations\":" << timing_violations << "},";
   out << "\"lint\":";
   diagnostics.print_json(out);
   out << "}";

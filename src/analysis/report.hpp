@@ -43,7 +43,15 @@ struct AnalysisReport {
   std::size_t largest_class = 0;
   std::size_t dominance_edges = 0;
 
-  Diagnostics diagnostics;  ///< NL017–NL021 findings
+  // timing (PR-8: the TimingChecker's audit of a fresh compute_timing,
+  // plus the NL022/NL023 declared-data findings merged into
+  // `diagnostics`)
+  double delay = 0.0;            ///< topological delay bound
+  double min_slack = 0.0;        ///< min finite slack over live gates
+  std::size_t critical_gates = 0;  ///< live gates with slack <= 1e-9
+  std::size_t timing_violations = 0;  ///< NL024–NL027 audit errors
+
+  Diagnostics diagnostics;  ///< NL017–NL021 + NL022/NL023 findings
 
   std::size_t static_untestable() const {
     return unobservable + unexcitable + blocked;

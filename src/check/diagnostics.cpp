@@ -72,6 +72,35 @@ const std::vector<RuleInfo>& all_rules() {
        "a reconvergent fanout stem implies the same value at its "
        "reconvergence gate under both polarities (self-masking "
        "structure)"},
+      // NL022..NL028 are produced by the timing subsystem's checker
+      // (src/timing/checker.cpp): NL022/NL023 by the lint-style declared-
+      // data rules, NL024..NL028 by the timing-invariant audit that backs
+      // --audit-timing and the KMS phase checkpoints.
+      {"NL022", Severity::kError, "delay-sanity",
+       "every live gate and connection must declare a finite, nonnegative "
+       "delay (and every input a finite arrival) for timing analysis to "
+       "be meaningful"},
+      {"NL023", Severity::kWarning, "stale-arrival-bound",
+       "a gate that reaches no primary output arrives later than the "
+       "network delay bound (a stale cone that would inflate any naive "
+       "max-over-gates delay estimate)"},
+      {"NL024", Severity::kError, "arrival-monotonicity",
+       "arrival times must be monotone along live connections (a sink "
+       "settles no earlier than any source plus edge and gate delays)"},
+      {"NL025", Severity::kError, "negative-slack",
+       "slack = required - arrival must be nonnegative everywhere when "
+       "the required times are set from the network's own delay"},
+      {"NL026", Severity::kError, "po-arrival-bound",
+       "no primary output may settle after the network delay bound (the "
+       "bound is their maximum by definition)"},
+      {"NL027", Severity::kError, "minus-inf-arrival",
+       "-infinity arrival marks exactly the constants and constant-fed "
+       "cones; inputs and gates with a finite-arrival fanin never carry "
+       "it"},
+      {"NL028", Severity::kError, "sta-divergence",
+       "the incremental timing engine's maintained tables must equal a "
+       "from-scratch recompute bit-for-bit (any mismatch is a missed "
+       "dirty seed)"},
       {"NL900", Severity::kError, "parse",
        "the input file must parse as BLIF (emitted by kmslint only)"},
   };

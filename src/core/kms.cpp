@@ -1,6 +1,7 @@
 #include "src/core/kms.hpp"
 
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 
 #include "src/base/log.hpp"
@@ -9,6 +10,8 @@
 #include "src/core/verdict.hpp"
 #include "src/netlist/transform.hpp"
 #include "src/proof/journal.hpp"
+#include "src/timing/checker.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/timing/path.hpp"
 #include "src/timing/sta.hpp"
 
@@ -26,9 +29,12 @@ std::size_t live_fanout(const Network& net, GateId g) {
 /// `n_index` (the gate closest to the output with fanout > 1), and move
 /// the on-path fanout edge of that gate to the duplicate. Returns the
 /// rewritten path P' (all of whose gates have fanout exactly one).
-/// The number of copied gates is added to *duplicated.
+/// The number of copied gates is added to *duplicated. `trace` records
+/// the one edit the incremental STA cannot see from liveness diffs: the
+/// final reroute keeps p.conns[n_index+1] alive while changing its
+/// source from gate n to the (new, watermark-covered) duplicate.
 Path duplicate_prefix(Network& net, const Path& p, std::size_t n_index,
-                      std::size_t* duplicated) {
+                      std::size_t* duplicated, TransformTrace* trace) {
   Path out = p;
   GateId prev_dup = GateId::invalid();
   for (std::size_t j = 0; j <= n_index; ++j) {
@@ -49,8 +55,32 @@ Path duplicate_prefix(Network& net, const Path& p, std::size_t n_index,
   }
   // Move edge e — the fanout connection of gate n that lies on P — to be
   // the single fanout of n'.
-  net.reroute_source(p.conns[n_index + 1], prev_dup);
+  const ConnId moved = p.conns[n_index + 1];
+  if (trace != nullptr)
+    trace->note_severed(p.gates[n_index], net.conn(moved).to);
+  net.reroute_source(moved, prev_dup);
   return out;
+}
+
+/// The constant-assertion step shared by the live loop and the resume
+/// replay: set the first edge of P' to the value that deletes the gate
+/// it feeds, then propagate. `trace` records the reroute
+/// set_conn_constant performs under the hood (the edge stays alive; its
+/// source changes to a — possibly new — constant gate) plus everything
+/// the propagation passes touch.
+void assert_first_edge_constant(Network& net, const Path& pp,
+                                TransformTrace* trace) {
+  const GateKind k0 = net.gate(pp.gates[0]).kind;
+  const bool value =
+      has_controlling_value(k0) ? controlling_value(k0) : false;
+  if (trace != nullptr) {
+    trace->note_touch(pp.gates[0]);
+    trace->note_severed(net.conn(pp.conns[0]).from, pp.gates[0]);
+  }
+  net.set_conn_constant(pp.conns[0], value);
+  propagate_constants(net, trace);
+  collapse_buffers(net, trace);
+  net.sweep();
 }
 
 }  // namespace
@@ -71,6 +101,43 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   checkpoint("kms:input");
   proof::ProofSession* const session = ctx.session;
   const KmsResumeState* const res = opts.resume;
+  // The loop's timing engine: constructed once after decomposition (or
+  // after the caller's replay, for resumed runs) and repaired in place
+  // per edit. Every timing consumer below — the initial/final delay
+  // columns, PathEnumerator's completion bounds, the sensitizer's
+  // viability arrivals — reads these tables; with the engine off, each
+  // site falls back to its own full pass exactly as before.
+  std::optional<IncrementalSta> sta;
+  // Audit the repaired tables against a from-scratch recompute wherever
+  // the engine is synchronized (never between the surgery steps of one
+  // iteration, where the tables are legitimately stale).
+  const auto timing_checkpoint = [&](const char* phase) {
+    if (sta && (checking || opts.audit_timing))
+      enforce_timing_invariants(net, *sta, phase);
+  };
+  // One arrival pass feeding both delay columns (topological bound and
+  // the SAT search's seed) — the initial_*/final_* measurement sites
+  // used to pay two back-to-back full traversals each.
+  const auto measure =
+      [&](double* topo, double* computed) {
+        StaSeed seed;
+        std::vector<double> own_arrival;
+        std::vector<double> own_suffix;
+        if (sta) {
+          *topo = sta->delay();
+          seed.arrival = &sta->arrival();
+          seed.suffix = &sta->suffix();
+        } else {
+          own_arrival = compute_arrival(net);
+          own_suffix = compute_suffix(net);
+          *topo = delay_from_arrival(net, own_arrival);
+          seed.arrival = &own_arrival;
+          seed.suffix = &own_suffix;
+        }
+        const DelayReport r =
+            computed_delay(net, opts.mode, opts.max_queries, gov, &seed);
+        *computed = r.delay;
+      };
   std::size_t base_unknown = 0;
   if (res != nullptr) {
     // Resumed run: the caller already replayed the journal prefix onto
@@ -80,20 +147,17 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // travel in the restored stats.
     stats = res->stats;
     base_unknown = stats.unknown_queries;
+    if (opts.incremental_sta) sta.emplace(net);
   } else {
     stats.decomposed_complex = decompose_to_simple(net);
     checkpoint("kms:decompose_to_simple");
     if (session && stats.decomposed_complex > 0)
       session->journal.add_decompose(stats.decomposed_complex);
 
+    if (opts.incremental_sta) sta.emplace(net);
     stats.initial_gates = net.count_gates();
-    stats.initial_topo_delay = topological_delay(net);
     stats.initial_max_fanout = net.max_fanout();
-    {
-      const DelayReport r =
-          computed_delay(net, opts.mode, opts.max_queries, gov);
-      stats.initial_computed_delay = r.delay;
-    }
+    measure(&stats.initial_topo_delay, &stats.initial_computed_delay);
     if (ctx.sink != nullptr) {
       // First resumable state: decomposed, measured, zero iterations.
       recover::CommitPoint cp;
@@ -122,12 +186,17 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // transforming it is valid regardless of the other longest paths'
     // status (at worst we perform transformations Fig. 3 would have
     // skipped — each removes a false path and keeps both invariants).
-    PathEnumerator en(net);
-    auto chosen = en.next();
+    // With the incremental engine on, the enumerator's completion
+    // bounds and the sensitizer's arrival table come from the
+    // maintained tables (bit-identical to the full passes they
+    // replace, so path choice and verdicts are unchanged).
+    auto chosen = sta ? PathEnumerator(net, sta->suffix()).next()
+                      : PathEnumerator(net).next();
     if (!chosen) break;  // no IO-paths left at all
     Path path = std::move(*chosen);
 
-    Sensitizer sens(net, opts.mode, gov, session);
+    Sensitizer sens(net, opts.mode, gov, session,
+                    sta ? &sta->arrival() : nullptr);
     const SensitizeResult sres = sens.check(path);
     stats.sensitization_queries += sens.queries();
     // Only a *proved* kUnsat licenses the transformation (Theorem 7.2's
@@ -156,10 +225,11 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
       }
     }
     const std::size_t dup_before = stats.duplicated_gates;
+    TransformTrace trace;
     Path pp =
         n_index >= 0
             ? duplicate_prefix(net, path, static_cast<std::size_t>(n_index),
-                               &stats.duplicated_gates)
+                               &stats.duplicated_gates, &trace)
             : path;
     checkpoint("kms:duplicate_prefix");
     if (session && stats.duplicated_gates > dup_before)
@@ -174,16 +244,11 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // Set the first edge of P' to a constant — prefer the controlling
     // value of the gate it feeds, which deletes that gate — and
     // propagate as far as possible, removing useless gates.
-    const GateId g0 = pp.gates[0];
-    const GateKind k0 = net.gate(g0).kind;
-    const bool value = has_controlling_value(k0) ? controlling_value(k0)
-                                                 : false;
     if (session) session->journal.add_constant(pp.conns[0].value());
-    net.set_conn_constant(pp.conns[0], value);
-    propagate_constants(net);
-    collapse_buffers(net);
-    net.sweep();
+    assert_first_edge_constant(net, pp, &trace);
+    if (sta) sta->apply(trace);
     checkpoint("kms:constant_propagation");
+    timing_checkpoint("kms:constant_propagation");
     ++stats.constants_set;
     ++stats.iterations;
     if (ctx.sink != nullptr) {
@@ -232,14 +297,29 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     stats.redundancies_removed = r.removed;
     stats.removal = r;
     checkpoint("kms:remove_redundancies");
+    // The removal phase edits through its own (per-fault) traces that
+    // are not aggregated here; one full rebuild resynchronizes the
+    // tables — still far cheaper than the per-iteration passes the
+    // engine saved across the loop.
+    if (sta) {
+      sta->rebuild();
+      timing_checkpoint("kms:remove_redundancies");
+    }
   }
 
   stats.final_gates = net.count_gates();
-  stats.final_topo_delay = topological_delay(net);
   stats.final_max_fanout = net.max_fanout();
-  {
-    const DelayReport r = computed_delay(net, opts.mode, opts.max_queries, gov);
-    stats.final_computed_delay = r.delay;
+  measure(&stats.final_topo_delay, &stats.final_computed_delay);
+  if (sta) {
+    const IncrementalSta::Stats& ss = sta->stats();
+    stats.sta_incremental = true;
+    // += rather than =: a resumed run's restored stats carry the
+    // pre-crash repair counters; this engine instance only saw the
+    // post-resume edits.
+    stats.sta_applies += ss.applies;
+    stats.sta_rebuilds += ss.rebuilds;
+    stats.sta_gates_repaired += ss.repaired();
+    stats.sta_full_visits += ss.full_equivalent;
   }
   if (gov) {
     const GovernorReport gr = gov->report();
@@ -257,7 +337,8 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   return stats;
 }
 
-KmsLoopTransform kms_replay_loop_transform(Network& net) {
+KmsLoopTransform kms_replay_loop_transform(Network& net,
+                                           TransformTrace* trace) {
   // Mirrors one iteration of the loop above with the SAT query elided:
   // the journal being replayed recorded the unsensitizability verdict,
   // so only the structural surgery needs repeating. Path selection is a
@@ -284,17 +365,11 @@ KmsLoopTransform kms_replay_loop_transform(Network& net) {
   const Path pp =
       n_index >= 0
           ? duplicate_prefix(net, path, static_cast<std::size_t>(n_index),
-                             &dup)
+                             &dup, trace)
           : path;
   out.duplicated = dup;
-  const GateKind k0 = net.gate(pp.gates[0]).kind;
-  const bool value =
-      has_controlling_value(k0) ? controlling_value(k0) : false;
   out.constant_conn = pp.conns[0].value();
-  net.set_conn_constant(pp.conns[0], value);
-  propagate_constants(net);
-  collapse_buffers(net);
-  net.sweep();
+  assert_first_edge_constant(net, pp, trace);
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "src/atpg/redundancy.hpp"
 #include "src/core/context.hpp"
 #include "src/netlist/network.hpp"
+#include "src/netlist/transform.hpp"
 #include "src/timing/sensitize.hpp"
 
 namespace kms {
@@ -47,6 +48,21 @@ struct KmsOptions {
 
   /// Run the final removal phase (disable to study the loop alone).
   bool remove_remaining = true;
+
+  /// Maintain arrival/required/slack/suffix tables incrementally across
+  /// the loop (src/timing/incremental.hpp) instead of recomputing them
+  /// from scratch every iteration. Results are bit-identical either way
+  /// (the engine's contract, audited by TimingChecker); off exists for
+  /// benchmarking and differential testing.
+  bool incremental_sta = true;
+
+  /// Audit the incremental engine's tables against a from-scratch
+  /// recompute after every repair (rules NL024–NL028), throwing
+  /// CheckFailure on any violation. Costs a full timing pass per
+  /// iteration — a debugging/CI mode, also implied by the
+  /// KMS_CHECK_INVARIANTS phase checkpoints. No-op when incremental_sta
+  /// is off.
+  bool audit_timing = false;
 
   /// Execution context of the run, shared by every phase:
   ///  * governor — shared wall-clock deadline, global conflict/
@@ -123,6 +139,16 @@ struct KmsStats {
   double initial_topo_delay = 0, final_topo_delay = 0;
   double initial_computed_delay = 0, final_computed_delay = 0;
   std::size_t initial_max_fanout = 0, final_max_fanout = 0;
+
+  // Incremental-STA observability (zero when the engine was off).
+  bool sta_incremental = false;      ///< engine selection for this run
+  std::size_t sta_applies = 0;       ///< per-edit dirty-cone repairs
+  std::size_t sta_rebuilds = 0;      ///< full rebuilds (ctor + removal)
+  std::size_t sta_gates_repaired = 0;  ///< gate visits by the repairs
+  /// Gate visits the per-edit full recomputes would have made instead
+  /// (two passes over every live gate per repair) — the denominator of
+  /// the repaired fraction reported by bench_timing.
+  std::size_t sta_full_visits = 0;
 };
 
 /// Committed mid-run state of a previous kms_make_irredundant call, as
@@ -155,7 +181,9 @@ struct KmsLoopTransform {
 /// kms_make_irredundant would and apply the duplicate+constant transform
 /// — no SAT (the journal already recorded the unsensitizability verdict)
 /// and no journaling. Throws std::runtime_error when no IO-path exists
-/// (a replay/journal mismatch).
-KmsLoopTransform kms_replay_loop_transform(Network& net);
+/// (a replay/journal mismatch). `trace`, if non-null, records the edit
+/// exactly as the live loop would for IncrementalSta::apply().
+KmsLoopTransform kms_replay_loop_transform(Network& net,
+                                           TransformTrace* trace = nullptr);
 
 }  // namespace kms

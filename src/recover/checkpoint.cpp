@@ -149,6 +149,11 @@ struct FieldTable {
     dbl("kms.final_computed_delay", &k.final_computed_delay);
     sz("kms.initial_max_fanout", &k.initial_max_fanout);
     sz("kms.final_max_fanout", &k.final_max_fanout);
+    flag("kms.sta_incremental", &k.sta_incremental);
+    sz("kms.sta_applies", &k.sta_applies);
+    sz("kms.sta_rebuilds", &k.sta_rebuilds);
+    sz("kms.sta_gates_repaired", &k.sta_gates_repaired);
+    sz("kms.sta_full_visits", &k.sta_full_visits);
 
     RedundancyRemovalResult& r = k.removal;
     sz("rm.removed", &r.removed);

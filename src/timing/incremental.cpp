@@ -1,0 +1,241 @@
+#include "src/timing/incremental.hpp"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace kms {
+namespace {
+
+constexpr double kPlusInf = std::numeric_limits<double>::infinity();
+
+/// Heap key ordering gates by topological position (ties by id are
+/// irrelevant: each gate enters a heap at most once per repair).
+std::uint64_t key(std::uint32_t pos, std::uint32_t id) {
+  return (static_cast<std::uint64_t>(pos) << 32) | id;
+}
+
+std::uint32_t id_of(std::uint64_t k) {
+  return static_cast<std::uint32_t>(k & 0xffffffffu);
+}
+
+}  // namespace
+
+IncrementalSta::IncrementalSta(const Network& net) : net_(net) { rebuild(); }
+
+void IncrementalSta::reset_dead(std::uint32_t g) {
+  // Canonical values compute_timing/compute_suffix produce for a dead
+  // (or unreachable-from-nothing) id: never visited by a pass, so the
+  // initialization constants survive.
+  arrival_[g] = minus_infinity();
+  required_[g] = kPlusInf;
+  suffix_[g] = minus_infinity();
+  slack_[g] = required_[g] - arrival_[g];
+}
+
+void IncrementalSta::grow() {
+  arrival_.resize(net_.gate_capacity(), minus_infinity());
+  required_.resize(net_.gate_capacity(), kPlusInf);
+  suffix_.resize(net_.gate_capacity(), minus_infinity());
+  slack_.resize(net_.gate_capacity(), kPlusInf);
+  gate_live_.resize(net_.gate_capacity(), 0);
+  conn_live_.resize(net_.conn_capacity(), 0);
+}
+
+void IncrementalSta::rebuild() {
+  ++stats_.rebuilds;
+  const std::uint32_t gcap = net_.gate_capacity();
+  const std::uint32_t ccap = net_.conn_capacity();
+  arrival_.assign(gcap, minus_infinity());
+  required_.assign(gcap, kPlusInf);
+  suffix_.assign(gcap, minus_infinity());
+  gate_live_.assign(gcap, 0);
+  conn_live_.assign(ccap, 0);
+  for (std::uint32_t i = 0; i < gcap; ++i)
+    gate_live_[i] = net_.gate(GateId{i}).dead ? 0 : 1;
+  for (std::uint32_t i = 0; i < ccap; ++i)
+    conn_live_[i] = net_.conn(ConnId{i}).dead ? 0 : 1;
+
+  const std::vector<GateId> order = net_.topo_order();
+  for (GateId g : order)
+    arrival_[g.value()] = local_arrival(net_, g, arrival_);
+  delay_ = delay_from_arrival(net_, arrival_);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    suffix_[it->value()] = local_suffix(net_, *it, suffix_);
+    required_[it->value()] = local_required(net_, *it, required_, delay_);
+  }
+  slack_.resize(gcap);
+  for (std::uint32_t i = 0; i < gcap; ++i)
+    slack_[i] = required_[i] - arrival_[i];
+}
+
+void IncrementalSta::apply(const TransformTrace& trace) {
+  ++stats_.applies;
+  // Watermarks: ids past these were born since the last repair (ids grow
+  // monotonically and tombstones never revive, so births and deaths are
+  // both recoverable from a capacity/liveness diff).
+  const std::uint32_t gate_mark = static_cast<std::uint32_t>(gate_live_.size());
+  const std::uint32_t conn_mark = static_cast<std::uint32_t>(conn_live_.size());
+  const std::uint32_t gcap = net_.gate_capacity();
+  const std::uint32_t ccap = net_.conn_capacity();
+  grow();
+  fwd_dirty_.assign(gcap, 0);
+  bwd_dirty_.assign(gcap, 0);
+  slack_dirty_.assign(gcap, 0);
+
+  // Seed 1: gate births and deaths.
+  for (std::uint32_t i = 0; i < gcap; ++i) {
+    const bool live = !net_.gate(GateId{i}).dead;
+    if (i >= gate_mark) {
+      gate_live_[i] = live ? 1 : 0;
+      if (live) {
+        fwd_dirty_[i] = 1;
+        bwd_dirty_[i] = 1;
+      } else {
+        reset_dead(i);
+      }
+    } else if (gate_live_[i] && !live) {
+      gate_live_[i] = 0;
+      reset_dead(i);
+    }
+  }
+
+  // Seed 2: connection births and deaths. A (dis)appearing edge moves
+  // the sink's arrival and the source's suffix/required. Tombstoned
+  // connections keep their endpoints, so deaths seed precisely.
+  for (std::uint32_t i = 0; i < ccap; ++i) {
+    const Conn& cn = net_.conn(ConnId{i});
+    const bool live = !cn.dead;
+    bool changed = false;
+    if (i >= conn_mark) {
+      conn_live_[i] = live ? 1 : 0;
+      changed = true;
+    } else if (conn_live_[i] && !live) {
+      conn_live_[i] = 0;
+      changed = true;
+    }
+    if (!changed) continue;
+    if (gate_live_[cn.from.value()]) bwd_dirty_[cn.from.value()] = 1;
+    if (gate_live_[cn.to.value()]) fwd_dirty_[cn.to.value()] = 1;
+  }
+
+  // Seed 3: the trace. Touched gates may have changed kind, delay, or
+  // fanin sources (a reroute keeps the connection alive, so only the
+  // trace can see it); their fanin sources read the touched gate's delay
+  // through suffix/required and must re-pull. Severed edges dirty both
+  // endpoints like a connection death.
+  for (GateId g : trace.touched) {
+    const std::uint32_t v = g.value();
+    if (v >= gcap || !gate_live_[v]) continue;
+    fwd_dirty_[v] = 1;
+    bwd_dirty_[v] = 1;
+    for (ConnId c : net_.gate(g).fanins) {
+      const std::uint32_t src = net_.conn(c).from.value();
+      if (gate_live_[src]) bwd_dirty_[src] = 1;
+    }
+  }
+  for (const auto& [from, to] : trace.severed) {
+    if (from.value() < gcap && gate_live_[from.value()])
+      bwd_dirty_[from.value()] = 1;
+    if (to.value() < gcap && gate_live_[to.value()])
+      fwd_dirty_[to.value()] = 1;
+  }
+
+  // Topological positions of the edited network; every live gate has
+  // one. (The order itself is what a full pass would walk — its length
+  // prices the full-recompute alternative for the bench comparison.)
+  const std::vector<GateId> order = net_.topo_order();
+  pos_.assign(gcap, 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i)
+    pos_[order[i].value()] = i;
+  stats_.full_equivalent += 2 * static_cast<std::uint64_t>(order.size());
+
+  // Forward repair: re-evaluate dirty gates in topological order; a
+  // changed arrival dirties live fanout sinks (always downstream, so
+  // each gate is visited at most once). Early cutoff: an unchanged
+  // repaired value propagates nothing.
+  {
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<std::uint64_t>>
+        heap;
+    for (std::uint32_t i = 0; i < gcap; ++i)
+      if (fwd_dirty_[i]) heap.push(key(pos_[i], i));
+    while (!heap.empty()) {
+      const std::uint32_t g = id_of(heap.top());
+      heap.pop();
+      fwd_dirty_[g] = 0;
+      ++stats_.forward_repaired;
+      const double nv = local_arrival(net_, GateId{g}, arrival_);
+      if (nv == arrival_[g]) continue;
+      arrival_[g] = nv;
+      slack_dirty_[g] = 1;
+      for (ConnId c : net_.gate(GateId{g}).fanouts) {
+        const Conn& cn = net_.conn(c);
+        if (cn.dead) continue;
+        const std::uint32_t to = cn.to.value();
+        if (!gate_live_[to] || fwd_dirty_[to]) continue;
+        fwd_dirty_[to] = 1;
+        heap.push(key(pos_[to], to));
+      }
+    }
+  }
+
+  // The delay bound follows the arrival table. required(po) = delay for
+  // every output, so a changed bound re-seeds every output marker; the
+  // backward pass then re-derives exactly the entries that shift. (No
+  // delta-shift shortcut: (a - b) + c is not (a + c) - b in floats, and
+  // the contract is bit-identity with the from-scratch pass.)
+  const double new_delay = delay_from_arrival(net_, arrival_);
+  if (new_delay != delay_) {
+    delay_ = new_delay;
+    for (GateId o : net_.outputs())
+      if (gate_live_[o.value()]) bwd_dirty_[o.value()] = 1;
+  }
+
+  // Backward repair: suffix and required ride the same reverse-
+  // topological sweep (one dirty set — both are pulled from fanouts);
+  // a change in either dirties the gate's live fanin sources.
+  {
+    std::priority_queue<std::uint64_t> heap;  // max position first
+    for (std::uint32_t i = 0; i < gcap; ++i)
+      if (bwd_dirty_[i]) heap.push(key(pos_[i], i));
+    while (!heap.empty()) {
+      const std::uint32_t g = id_of(heap.top());
+      heap.pop();
+      bwd_dirty_[g] = 0;
+      ++stats_.backward_repaired;
+      const double ns = local_suffix(net_, GateId{g}, suffix_);
+      const double nr = local_required(net_, GateId{g}, required_, delay_);
+      const bool s_changed = ns != suffix_[g];
+      const bool r_changed = nr != required_[g];
+      suffix_[g] = ns;
+      required_[g] = nr;
+      if (r_changed) slack_dirty_[g] = 1;
+      if (!s_changed && !r_changed) continue;
+      for (ConnId c : net_.gate(GateId{g}).fanins) {
+        const std::uint32_t src = net_.conn(c).from.value();
+        if (!gate_live_[src] || bwd_dirty_[src]) continue;
+        bwd_dirty_[src] = 1;
+        heap.push(key(pos_[src], src));
+      }
+    }
+  }
+
+  // Slack is a pure function of the two repaired tables.
+  for (std::uint32_t i = 0; i < gcap; ++i) {
+    if (!slack_dirty_[i]) continue;
+    slack_[i] = required_[i] - arrival_[i];
+    ++stats_.slack_repaired;
+  }
+}
+
+TimingTables IncrementalSta::tables() const {
+  TimingTables t;
+  t.arrival = arrival_;
+  t.required = required_;
+  t.slack = slack_;
+  t.delay = delay_;
+  return t;
+}
+
+}  // namespace kms

@@ -1,0 +1,110 @@
+// Incremental static timing analysis (the ROADMAP's answer to the
+// quadratic wall: one full pass per KMS iteration becomes a dirty-cone
+// repair proportional to the edited region).
+//
+// IncrementalSta owns the arrival/required/slack tables plus the suffix
+// table (the longest completion from each gate's output to any primary
+// output — the compact boundary timing model of the gate's untouched
+// fanout region, after Li et al., "Static Timing Model Extraction for
+// Combinational Circuits"). apply() repairs all four in place from a
+// TransformTrace: only the transitive fanout of touched gates is
+// re-evaluated for arrival, only the transitive fanin of gates whose
+// arrival/suffix/required changed is re-evaluated backward, and
+// propagation stops early wherever a repaired value comes back unchanged.
+//
+// Bit-identity contract: every repaired entry equals the from-scratch
+// value under exact double equality. This holds by construction — the
+// repair evaluates the same per-gate kernels (src/timing/sta.hpp) over
+// the same operands in the same association order as the full passes,
+// and IEEE max/min/add are deterministic — and it is what lets the KMS
+// loop consume these tables (PathEnumerator seeding, sensitization
+// candidate selection) with end states bit-identical to full recompute,
+// at any --jobs. TimingChecker (src/timing/checker.hpp) audits the
+// contract against compute_timing on demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/netlist/network.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+
+class IncrementalSta {
+ public:
+  /// Repair-cost observability, aggregated over the engine's lifetime.
+  struct Stats {
+    std::uint64_t applies = 0;   ///< apply() calls (one per loop edit)
+    std::uint64_t rebuilds = 0;  ///< full rebuild() calls (ctor included)
+    /// Gates whose arrival was re-evaluated by repairs.
+    std::uint64_t forward_repaired = 0;
+    /// Gates whose suffix/required were re-evaluated by repairs.
+    std::uint64_t backward_repaired = 0;
+    /// Slack entries rewritten by repairs.
+    std::uint64_t slack_repaired = 0;
+    /// Gate visits the per-edit full recompute would have made instead:
+    /// one forward plus one backward visit per live gate per apply().
+    std::uint64_t full_equivalent = 0;
+
+    std::uint64_t repaired() const {
+      return forward_repaired + backward_repaired;
+    }
+  };
+
+  /// Builds the tables with one full pass over `net`. The network must
+  /// outlive the engine; between apply() calls it must only be edited
+  /// through traced transformations (see apply()).
+  explicit IncrementalSta(const Network& net);
+
+  /// Repair the tables after a traced edit. `trace` must cover every
+  /// gate whose kind/delay/fanin-sources changed and every severed edge,
+  /// exactly as the TransformTrace contract specifies; edits the trace
+  /// cannot see (new gates, new connections, deaths by sweep) are
+  /// discovered from capacity watermarks and liveness diffs, since ids
+  /// grow monotonically and tombstones never revive.
+  void apply(const TransformTrace& trace);
+
+  /// Recompute everything from scratch (used after untraced bulk edits,
+  /// e.g. the final removal phase). Keeps the bit-identity contract
+  /// trivially.
+  void rebuild();
+
+  const std::vector<double>& arrival() const { return arrival_; }
+  const std::vector<double>& required() const { return required_; }
+  const std::vector<double>& slack() const { return slack_; }
+  const std::vector<double>& suffix() const { return suffix_; }
+  double delay() const { return delay_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Copy of the maintained tables in compute_timing's result shape.
+  TimingTables tables() const;
+
+ private:
+  void reset_dead(std::uint32_t g);
+  void grow();
+
+  const Network& net_;
+  std::vector<double> arrival_;
+  std::vector<double> required_;
+  std::vector<double> slack_;
+  std::vector<double> suffix_;
+  double delay_ = 0.0;
+
+  // Liveness snapshot as of the last apply()/rebuild(), used to diff
+  // deaths (and births past the watermark) the trace cannot report.
+  std::vector<char> gate_live_;
+  std::vector<char> conn_live_;
+
+  // Scratch (kept across calls to avoid reallocation).
+  std::vector<char> fwd_dirty_;
+  std::vector<char> bwd_dirty_;
+  std::vector<char> slack_dirty_;
+  std::vector<std::uint32_t> pos_;
+
+  Stats stats_;
+};
+
+}  // namespace kms

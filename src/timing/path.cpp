@@ -37,29 +37,21 @@ std::string format_path(const Network& net, const Path& p) {
 
 PathEnumerator::PathEnumerator(const Network& net) : net_(net) {
   // Longest suffix from each gate's output to any primary output.
-  suffix_.assign(net.gate_capacity(), minus_infinity());
-  const auto order = net.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const GateId g = *it;
-    const Gate& gt = net.gate(g);
-    if (gt.kind == GateKind::kOutput) {
-      suffix_[g.value()] = 0.0;
-      continue;
-    }
-    double best = minus_infinity();
-    for (ConnId c : gt.fanouts) {
-      const Conn& cn = net.conn(c);
-      if (cn.dead) continue;
-      const Gate& to = net.gate(cn.to);
-      const double s = cn.delay + to.delay + suffix_[cn.to.value()];
-      best = std::max(best, s);
-    }
-    suffix_[g.value()] = best;
-  }
+  suffix_ = compute_suffix(net);
+  seed_sources();
+}
+
+PathEnumerator::PathEnumerator(const Network& net,
+                               const std::vector<double>& suffix)
+    : net_(net), suffix_(suffix) {
+  seed_sources();
+}
+
+void PathEnumerator::seed_sources() {
   // Seed one partial path per primary input that can reach an output.
-  for (GateId pi : net.inputs()) {
+  for (GateId pi : net_.inputs()) {
     if (suffix_[pi.value()] == minus_infinity()) continue;
-    const double head = net.gate(pi).arrival;
+    const double head = net_.gate(pi).arrival;
     nodes_.push_back(Node{ConnId::invalid(), -1, pi, head});
     heap_.push_back(
         QueueItem{head + suffix_[pi.value()],

@@ -40,6 +40,14 @@ class PathEnumerator {
  public:
   explicit PathEnumerator(const Network& net);
 
+  /// Seed the completion bounds from an externally maintained suffix
+  /// table (see IncrementalSta::suffix()) instead of recomputing them
+  /// with a full backward pass. The table must equal compute_suffix(net)
+  /// exactly — the incremental engine guarantees this bit-for-bit, so
+  /// enumeration order (including heap tie-breaking) is identical to the
+  /// unseeded constructor's.
+  PathEnumerator(const Network& net, const std::vector<double>& suffix);
+
   /// Next path in non-increasing length order; nullopt when exhausted.
   std::optional<Path> next();
 
@@ -63,6 +71,7 @@ class PathEnumerator {
   };
 
   void expand(std::int32_t node_idx);
+  void seed_sources();
 
   const Network& net_;
   std::vector<double> suffix_;  // longest gate-output-to-PO length

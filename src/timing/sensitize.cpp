@@ -12,11 +12,12 @@
 namespace kms {
 
 Sensitizer::Sensitizer(const Network& net, SensitizationMode mode,
-                       ResourceGovernor* governor, proof::ProofSession* session)
+                       ResourceGovernor* governor, proof::ProofSession* session,
+                       const std::vector<double>* arrival_seed)
     : net_(net),
       mode_(mode),
       session_(session),
-      arrival_(compute_arrival(net)) {
+      arrival_(arrival_seed ? *arrival_seed : compute_arrival(net)) {
   if (governor) solver_.set_governor(governor);
   if (session_) {
     trace_ = std::make_unique<proof::DratTrace>();
@@ -104,40 +105,17 @@ SensitizeResult Sensitizer::check(const Path& path) {
   return out;
 }
 
-namespace {
-
-/// Longest completion (conn delay + gate delay sums) from each gate's
-/// output to any primary output; -inf where no output is reachable.
-std::vector<double> suffix_bounds(const Network& net) {
-  std::vector<double> suffix(net.gate_capacity(), minus_infinity());
-  const auto order = net.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const GateId g = *it;
-    const Gate& gt = net.gate(g);
-    if (gt.kind == GateKind::kOutput) {
-      suffix[g.value()] = 0.0;
-      continue;
-    }
-    double best = minus_infinity();
-    for (ConnId c : gt.fanouts) {
-      const Conn& cn = net.conn(c);
-      if (cn.dead) continue;
-      best = std::max(best,
-                      cn.delay + net.gate(cn.to).delay + suffix[cn.to.value()]);
-    }
-    suffix[g.value()] = best;
-  }
-  return suffix;
-}
-
-}  // namespace
-
 DelayReport computed_delay(const Network& net, SensitizationMode mode,
-                           std::size_t max_queries,
-                           ResourceGovernor* governor) {
+                           std::size_t max_queries, ResourceGovernor* governor,
+                           const StaSeed* seed) {
   DelayReport report;
-  Sensitizer sens(net, mode, governor);
-  const auto suffix = suffix_bounds(net);
+  Sensitizer sens(net, mode, governor, nullptr,
+                  seed ? seed->arrival : nullptr);
+  std::vector<double> own_suffix;
+  if (seed == nullptr || seed->suffix == nullptr)
+    own_suffix = compute_suffix(net);
+  const std::vector<double>& suffix =
+      (seed && seed->suffix) ? *seed->suffix : own_suffix;
   constexpr double kEps = 1e-9;
 
   // Fanout connections of every gate, sorted by completion bound

@@ -54,13 +54,27 @@ struct SensitizeResult {
   const std::vector<bool>& operator*() const { return *witness; }
 };
 
+/// Precomputed timing tables a caller that already maintains them (the
+/// KMS loop via IncrementalSta) hands to the sensitization layer so it
+/// skips its own full passes. Both pointers are optional and must be
+/// bit-identical to what the callee would compute from scratch — the
+/// incremental engine guarantees this, and TimingChecker audits it — so
+/// seeding never changes a verdict, a witness, or an enumeration order.
+struct StaSeed {
+  const std::vector<double>* arrival = nullptr;
+  const std::vector<double>* suffix = nullptr;
+};
+
 class Sensitizer {
  public:
   /// With a proof session, every kUnsat verdict from check() carries a
   /// DRAT certificate and is journalled as an unsensitizable-path step.
+  /// `arrival_seed`, if non-null, supplies the arrival table (used by
+  /// viability smoothing) instead of a fresh compute_arrival pass.
   Sensitizer(const Network& net, SensitizationMode mode,
              ResourceGovernor* governor = nullptr,
-             proof::ProofSession* session = nullptr);
+             proof::ProofSession* session = nullptr,
+             const std::vector<double>* arrival_seed = nullptr);
   ~Sensitizer();
 
   /// Decide the condition for `path`: kSat with a witnessing primary
@@ -130,6 +144,7 @@ struct DelayReport {
 /// topological upper bound with exact=false; it never under-reports.
 DelayReport computed_delay(const Network& net, SensitizationMode mode,
                            std::size_t max_queries = 200000,
-                           ResourceGovernor* governor = nullptr);
+                           ResourceGovernor* governor = nullptr,
+                           const StaSeed* seed = nullptr);
 
 }  // namespace kms

@@ -9,55 +9,36 @@ double minus_infinity() { return -std::numeric_limits<double>::infinity(); }
 
 std::vector<double> compute_arrival(const Network& net) {
   std::vector<double> arrival(net.gate_capacity(), minus_infinity());
-  for (GateId g : net.topo_order()) {
-    const Gate& gt = net.gate(g);
-    switch (gt.kind) {
-      case GateKind::kInput:
-        arrival[g.value()] = gt.arrival;
-        break;
-      case GateKind::kConst0:
-      case GateKind::kConst1:
-        arrival[g.value()] = minus_infinity();
-        break;
-      default: {
-        double in = minus_infinity();
-        for (ConnId c : gt.fanins) {
-          const Conn& cn = net.conn(c);
-          in = std::max(in, arrival[cn.from.value()] + cn.delay);
-        }
-        // A gate fed only by constants settles "immediately": keep -inf
-        // rather than -inf + delay (which is still -inf, so this is
-        // automatic with IEEE arithmetic).
-        arrival[g.value()] = in + gt.delay;
-        break;
-      }
-    }
-  }
+  for (GateId g : net.topo_order())
+    arrival[g.value()] = local_arrival(net, g, arrival);
   return arrival;
+}
+
+std::vector<double> compute_suffix(const Network& net) {
+  std::vector<double> suffix(net.gate_capacity(), minus_infinity());
+  const auto order = net.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    suffix[it->value()] = local_suffix(net, *it, suffix);
+  return suffix;
+}
+
+double delay_from_arrival(const Network& net,
+                          const std::vector<double>& arrival) {
+  double d = minus_infinity();
+  for (GateId o : net.outputs()) d = std::max(d, arrival[o.value()]);
+  return d == minus_infinity() ? 0.0 : d;
 }
 
 TimingTables compute_timing(const Network& net) {
   TimingTables t;
   t.arrival = compute_arrival(net);
-  t.delay = minus_infinity();
-  for (GateId o : net.outputs())
-    t.delay = std::max(t.delay, t.arrival[o.value()]);
-  if (t.delay == minus_infinity()) t.delay = 0.0;
+  t.delay = delay_from_arrival(net, t.arrival);
 
   t.required.assign(net.gate_capacity(),
                     std::numeric_limits<double>::infinity());
   const auto order = net.topo_order();
-  for (GateId o : net.outputs()) t.required[o.value()] = t.delay;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const GateId g = *it;
-    const Gate& gt = net.gate(g);
-    const double at_input = t.required[g.value()] - gt.delay;
-    for (ConnId c : gt.fanins) {
-      const Conn& cn = net.conn(c);
-      t.required[cn.from.value()] =
-          std::min(t.required[cn.from.value()], at_input - cn.delay);
-    }
-  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    t.required[it->value()] = local_required(net, *it, t.required, t.delay);
   t.slack.resize(net.gate_capacity());
   for (std::size_t i = 0; i < t.slack.size(); ++i)
     t.slack[i] = t.required[i] - t.arrival[i];
@@ -65,10 +46,7 @@ TimingTables compute_timing(const Network& net) {
 }
 
 double topological_delay(const Network& net) {
-  const auto arrival = compute_arrival(net);
-  double d = minus_infinity();
-  for (GateId o : net.outputs()) d = std::max(d, arrival[o.value()]);
-  return d == minus_infinity() ? 0.0 : d;
+  return delay_from_arrival(net, compute_arrival(net));
 }
 
 }  // namespace kms

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +30,11 @@ namespace {
 
 std::string temp_path(const std::string& name) {
   const char* dir = std::getenv("TMPDIR");
-  return std::string(dir ? dir : "/tmp") + "/" + name;
+  // Per-process suffix: ctest runs each case as its own process, and a
+  // parallel ctest (-j > 1) would otherwise have concurrent cases
+  // clobbering each other's fixture files.
+  return std::string(dir ? dir : "/tmp") + "/" + name + "." +
+         std::to_string(getpid());
 }
 
 int exit_code(const std::string& cmd) {

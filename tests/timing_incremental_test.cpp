@@ -1,0 +1,422 @@
+// IncrementalSta / TimingChecker suite (DESIGN.md §15).
+//
+// The load-bearing property: after ANY traced edit sequence, every
+// maintained table equals a from-scratch compute_timing/compute_suffix
+// under exact double equality — the contract that lets the KMS loop
+// consume the tables with bit-identical end states. The suite drives
+// randomized edit walks (delay/arrival changes plus the production
+// duplicate+constant surgery via kms_replay_loop_transform), checks
+// whole KMS runs end up bit-identical with the engine on vs off at
+// jobs 1 and 4, and tampers each table to prove the checker's rules
+// (NL022–NL028) actually fire.
+#include "src/timing/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/check/checker.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/suite.hpp"
+#include "src/netlist/blif.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
+#include "src/timing/checker.hpp"
+#include "src/timing/path.hpp"
+#include "src/timing/sensitize.hpp"
+#include "src/timing/sta.hpp"
+
+namespace kms {
+namespace {
+
+Network load_example(const std::string& name) {
+  std::ifstream in(std::string(EXAMPLES_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << name;
+  return read_blif_sequential(in).comb;
+}
+
+/// The exact-equality audit, spelled out so a failure names the table
+/// and gate. EXPECT_EQ on doubles is bitwise-meaningful here: every
+/// value is either a finite double produced by identical operations or
+/// +/-infinity, never NaN.
+void expect_tables_exact(const Network& net, const IncrementalSta& sta,
+                         const std::string& ctx) {
+  const TimingTables want = compute_timing(net);
+  const std::vector<double> want_suffix = compute_suffix(net);
+  ASSERT_EQ(sta.arrival().size(), want.arrival.size()) << ctx;
+  EXPECT_EQ(sta.delay(), want.delay) << ctx;
+  for (std::size_t i = 0; i < want.arrival.size(); ++i) {
+    EXPECT_EQ(sta.arrival()[i], want.arrival[i]) << ctx << " arrival g" << i;
+    EXPECT_EQ(sta.required()[i], want.required[i]) << ctx << " required g" << i;
+    EXPECT_EQ(sta.slack()[i], want.slack[i]) << ctx << " slack g" << i;
+    EXPECT_EQ(sta.suffix()[i], want_suffix[i]) << ctx << " suffix g" << i;
+  }
+  // And the checker agrees.
+  const TimingAudit audit = audit_incremental_sta(net, sta);
+  EXPECT_TRUE(audit.ok()) << ctx << "\n" << audit.diagnostics.to_text();
+}
+
+std::vector<GateId> live_logic_gates(const Network& net) {
+  std::vector<GateId> out;
+  for (GateId g : net.topo_order()) {
+    const Gate& gt = net.gate(g);
+    if (gt.kind != GateKind::kInput && gt.kind != GateKind::kOutput &&
+        !is_constant(gt.kind))
+      out.push_back(g);
+  }
+  return out;
+}
+
+TEST(IncrementalStaTest, FreshEngineMatchesFullPass) {
+  for (Network net : {ripple_carry_adder(8), carry_skip_adder(8, 2),
+                      load_example("parity4.blif"),
+                      load_example("statred.blif")}) {
+    decompose_to_simple(net);
+    IncrementalSta sta(net);
+    expect_tables_exact(net, sta, net.name());
+    EXPECT_EQ(sta.delay(), topological_delay(net));
+  }
+}
+
+TEST(IncrementalStaTest, RandomEditWalksStayExact) {
+  for (const auto& [bits, block] :
+       {std::pair<std::size_t, std::size_t>{4, 2}, {8, 2}, {8, 4}}) {
+    Network net = carry_skip_adder(bits, block);
+    decompose_to_simple(net);
+    IncrementalSta sta(net);
+    std::mt19937_64 rng(1000 * bits + block);
+    std::uniform_real_distribution<double> delay_dist(0.0, 3.0);
+    for (int step = 0; step < 40; ++step) {
+      TransformTrace trace;
+      const std::vector<GateId> gates = live_logic_gates(net);
+      switch (rng() % 4) {
+        case 0: {  // gate delay change
+          const GateId g = gates[rng() % gates.size()];
+          net.gate(g).delay = delay_dist(rng);
+          trace.note_touch(g);
+          break;
+        }
+        case 1: {  // fanin connection delay change
+          const GateId g = gates[rng() % gates.size()];
+          const Gate& gt = net.gate(g);
+          if (gt.fanins.empty()) continue;
+          net.conn(gt.fanins[rng() % gt.fanins.size()]).delay =
+              delay_dist(rng);
+          // Touching the sink covers both directions: the sink re-pulls
+          // its arrival, and the sink's fanin sources (the conn's
+          // source among them) re-pull suffix/required.
+          trace.note_touch(g);
+          break;
+        }
+        case 2: {  // primary-input arrival change
+          const auto& pis = net.inputs();
+          const GateId pi = pis[rng() % pis.size()];
+          net.gate(pi).arrival = delay_dist(rng);
+          trace.note_touch(pi);
+          break;
+        }
+        default: {  // the production loop surgery, SAT-free
+          try {
+            kms_replay_loop_transform(net, &trace);
+          } catch (const std::runtime_error&) {
+            continue;  // no IO-path left to transform
+          }
+          break;
+        }
+      }
+      sta.apply(trace);
+      expect_tables_exact(net, sta,
+                          net.name() + " step " + std::to_string(step));
+    }
+    // Repairs must have been doing real incremental work, not hidden
+    // rebuilds: strictly fewer gate visits than per-edit full passes.
+    EXPECT_GT(sta.stats().applies, 0u);
+    EXPECT_LT(sta.stats().repaired(), sta.stats().full_equivalent);
+  }
+}
+
+TEST(IncrementalStaTest, ReplaySurgerySequenceStaysExact) {
+  // Drive the exact duplicate-prefix + constant-assertion surgery the
+  // KMS loop performs, repeatedly, on the paper's redundancy-rich
+  // circuit family.
+  Network net = carry_skip_adder(8, 2);
+  decompose_to_simple(net);
+  IncrementalSta sta(net);
+  for (int i = 0; i < 12; ++i) {
+    TransformTrace trace;
+    try {
+      kms_replay_loop_transform(net, &trace);
+    } catch (const std::runtime_error&) {
+      break;
+    }
+    sta.apply(trace);
+    expect_tables_exact(net, sta, "surgery " + std::to_string(i));
+  }
+  EXPECT_GT(sta.stats().applies, 0u);
+}
+
+TEST(IncrementalStaTest, SeededPathEnumerationIsIdentical) {
+  Network net = carry_skip_adder(8, 2);
+  decompose_to_simple(net);
+  IncrementalSta sta(net);
+  PathEnumerator plain(net);
+  PathEnumerator seeded(net, sta.suffix());
+  for (int i = 0; i < 50; ++i) {
+    auto a = plain.next();
+    auto b = seeded.next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    EXPECT_EQ(a->length, b->length);
+    EXPECT_EQ(a->source, b->source);
+    ASSERT_EQ(a->gates.size(), b->gates.size());
+    for (std::size_t k = 0; k < a->gates.size(); ++k) {
+      EXPECT_EQ(a->gates[k], b->gates[k]);
+      EXPECT_EQ(a->conns[k], b->conns[k]);
+    }
+  }
+}
+
+TEST(IncrementalStaTest, SeededComputedDelayIsIdentical) {
+  Network net = carry_skip_adder(6, 3);
+  decompose_to_simple(net);
+  IncrementalSta sta(net);
+  const StaSeed seed{&sta.arrival(), &sta.suffix()};
+  for (SensitizationMode mode :
+       {SensitizationMode::kStatic, SensitizationMode::kViability}) {
+    const DelayReport plain = computed_delay(net, mode);
+    const DelayReport seeded = computed_delay(net, mode, 200000, nullptr,
+                                              &seed);
+    EXPECT_EQ(plain.delay, seeded.delay);
+    EXPECT_EQ(plain.paths_examined, seeded.paths_examined);
+  }
+}
+
+/// One full KMS run; returns (output blif, journal text, stats).
+struct RunOutcome {
+  std::string blif;
+  std::string journal;
+  KmsStats stats;
+};
+
+RunOutcome run_kms(Network net, bool incremental, unsigned jobs) {
+  proof::ProofSession session;
+  session.journal.set_model(net.name());
+  session.journal.set_input_digest(
+      proof::digest_bytes(write_blif_string(net)));
+  KmsOptions opts;
+  opts.incremental_sta = incremental;
+  opts.context.session = &session;
+  opts.context.jobs = jobs;
+  RunOutcome out;
+  out.stats = kms_make_irredundant(net, opts);
+  out.blif = write_blif_string(net);
+  session.journal.set_output_digest(proof::digest_bytes(out.blif));
+  out.journal = session.journal.to_text();
+  return out;
+}
+
+TEST(IncrementalStaTest, KmsEndStateBitIdenticalAcrossEngines) {
+  // The acceptance property: engine on vs off, jobs 1 vs 4 — same final
+  // netlist bytes, same journal bytes, same delay doubles.
+  for (Network seed_net :
+       {carry_skip_adder(4, 2), carry_skip_adder(6, 3),
+        load_example("fulladder.blif"), load_example("parity4.blif"),
+        load_example("counter2.blif"), load_example("statred.blif")}) {
+    decompose_to_simple(seed_net);
+    const RunOutcome ref = run_kms(seed_net, /*incremental=*/false, 1);
+    for (unsigned jobs : {1u, 4u}) {
+      const RunOutcome inc = run_kms(seed_net, /*incremental=*/true, jobs);
+      EXPECT_EQ(inc.blif, ref.blif) << seed_net.name() << " jobs " << jobs;
+      EXPECT_EQ(inc.journal, ref.journal)
+          << seed_net.name() << " jobs " << jobs;
+      EXPECT_EQ(inc.stats.final_topo_delay, ref.stats.final_topo_delay);
+      EXPECT_EQ(inc.stats.final_computed_delay,
+                ref.stats.final_computed_delay);
+      EXPECT_EQ(inc.stats.final_gates, ref.stats.final_gates);
+      EXPECT_TRUE(inc.stats.sta_incremental);
+      if (inc.stats.iterations > 0) EXPECT_GT(inc.stats.sta_applies, 0u);
+    }
+    const RunOutcome full4 = run_kms(seed_net, /*incremental=*/false, 4);
+    EXPECT_EQ(full4.blif, ref.blif);
+    EXPECT_EQ(full4.journal, ref.journal);
+  }
+}
+
+TEST(IncrementalStaTest, KmsAuditTimingModePasses) {
+  // --audit-timing cross-checks the maintained tables against a full
+  // recompute at every synced checkpoint, throwing on any divergence.
+  Network net = carry_skip_adder(6, 3);
+  decompose_to_simple(net);
+  KmsOptions opts;
+  opts.audit_timing = true;
+  EXPECT_NO_THROW(kms_make_irredundant(net, opts));
+}
+
+TEST(IncrementalStaTest, SuiteCircuitEndStateMatches) {
+  // One Table-I substitute circuit through both engines (delay-optimized
+  // variant, where the loop actually fires).
+  Network net = build_suite_circuit(benchmark_suite().front());
+  decompose_to_simple(net);
+  const RunOutcome ref = run_kms(net, false, 1);
+  const RunOutcome inc = run_kms(net, true, 1);
+  EXPECT_EQ(inc.blif, ref.blif);
+  EXPECT_EQ(inc.journal, ref.journal);
+}
+
+// ---------------------------------------------------------------------
+// TimingChecker rules: each one must actually fire on a tampered input.
+
+bool has_rule(const Diagnostics& d, const std::string& rule) {
+  for (const Diagnostic& diag : d.all())
+    if (diag.rule == rule) return true;
+  return false;
+}
+
+/// a --not--> g -> f, plus b feeding a second output.
+Network small_net() {
+  Network net("t");
+  const GateId a = net.add_input("a", 1.0);
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b}, 2.0);
+  net.add_output("f", g);
+  return net;
+}
+
+TEST(TimingCheckerTest, CleanNetworkHasNoFindings) {
+  const Network net = small_net();
+  Diagnostics out;
+  run_timing_rules(net, &out);
+  EXPECT_TRUE(out.empty()) << out.to_text();
+  const TimingAudit audit = audit_timing_tables(net, compute_timing(net));
+  EXPECT_TRUE(audit.ok()) << audit.diagnostics.to_text();
+}
+
+TEST(TimingCheckerTest, Nl022FlagsBadDeclaredDelays) {
+  {
+    Network net = small_net();
+    net.gate(net.topo_order().back()).delay = -1.0;
+    Diagnostics out;
+    run_timing_rules(net, &out);
+    EXPECT_GT(out.error_count(), 0u);
+    EXPECT_TRUE(has_rule(out, "NL022")) << out.to_text();
+  }
+  {
+    Network net = small_net();
+    const GateId g = live_logic_gates(net).front();
+    net.conn(net.gate(g).fanins[0]).delay =
+        std::numeric_limits<double>::quiet_NaN();
+    Diagnostics out;
+    run_timing_rules(net, &out);
+    EXPECT_TRUE(has_rule(out, "NL022")) << out.to_text();
+  }
+  {
+    Network net = small_net();
+    net.gate(net.inputs().front()).arrival =
+        std::numeric_limits<double>::infinity();
+    Diagnostics out;
+    run_timing_rules(net, &out);
+    EXPECT_TRUE(has_rule(out, "NL022")) << out.to_text();
+  }
+  // NL022 is error severity: it must fire even with warnings off.
+  {
+    Network net = small_net();
+    net.gate(net.topo_order().back()).delay = -1.0;
+    Diagnostics out;
+    run_timing_rules(net, &out, 100, /*warnings=*/false);
+    EXPECT_TRUE(has_rule(out, "NL022"));
+  }
+}
+
+TEST(TimingCheckerTest, Nl023FlagsStaleUnreachableCone) {
+  Network net("stale");
+  const GateId a = net.add_input("a", 5.0);
+  net.add_gate(GateKind::kNot, {a}, 1.0);  // reaches no output
+  const GateId b = net.add_input("b", 1.0);
+  net.add_output("f", b);  // network delay bound = 1
+  Diagnostics out;
+  run_timing_rules(net, &out);
+  EXPECT_TRUE(has_rule(out, "NL023")) << out.to_text();
+  EXPECT_EQ(out.error_count(), 0u);  // warning severity
+  // --no-warn drops it.
+  Diagnostics quiet;
+  run_timing_rules(net, &quiet, 100, /*warnings=*/false);
+  EXPECT_FALSE(has_rule(quiet, "NL023"));
+}
+
+TEST(TimingCheckerTest, Nl024FlagsNonMonotonicArrival) {
+  const Network net = small_net();
+  TimingTables t = compute_timing(net);
+  t.arrival[live_logic_gates(net).front().value()] -= 0.5;
+  const TimingAudit audit = audit_timing_tables(net, t);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_rule(audit.diagnostics, "NL024"))
+      << audit.diagnostics.to_text();
+}
+
+TEST(TimingCheckerTest, Nl025FlagsNegativeSlack) {
+  const Network net = small_net();
+  TimingTables t = compute_timing(net);
+  t.slack[live_logic_gates(net).front().value()] = -1.0;
+  const TimingAudit audit = audit_timing_tables(net, t);
+  EXPECT_TRUE(has_rule(audit.diagnostics, "NL025"))
+      << audit.diagnostics.to_text();
+}
+
+TEST(TimingCheckerTest, Nl026FlagsOutputPastDelayBound) {
+  const Network net = small_net();
+  TimingTables t = compute_timing(net);
+  t.arrival[net.outputs().front().value()] = t.delay + 1.0;
+  const TimingAudit audit = audit_timing_tables(net, t);
+  EXPECT_TRUE(has_rule(audit.diagnostics, "NL026"))
+      << audit.diagnostics.to_text();
+}
+
+TEST(TimingCheckerTest, Nl027FlagsBogusMinusInfArrival) {
+  const Network net = small_net();
+  TimingTables t = compute_timing(net);
+  t.arrival[live_logic_gates(net).front().value()] = minus_infinity();
+  const TimingAudit audit = audit_timing_tables(net, t);
+  EXPECT_TRUE(has_rule(audit.diagnostics, "NL027"))
+      << audit.diagnostics.to_text();
+}
+
+TEST(TimingCheckerTest, Nl028FlagsUntracedEdit) {
+  // Edit the network behind the engine's back: the exact divergence
+  // audit must catch the stale tables, and the enforcement wrapper must
+  // throw.
+  Network net = small_net();
+  IncrementalSta sta(net);
+  net.gate(live_logic_gates(net).front()).delay += 1.0;
+  const TimingAudit audit = audit_incremental_sta(net, sta);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_rule(audit.diagnostics, "NL028"))
+      << audit.diagnostics.to_text();
+  EXPECT_THROW(enforce_timing_invariants(net, sta, "test"), CheckFailure);
+}
+
+TEST(TimingCheckerTest, RulesAreRegistered) {
+  for (const char* id :
+       {"NL022", "NL023", "NL024", "NL025", "NL026", "NL027", "NL028"}) {
+    const RuleInfo* info = find_rule(id);
+    ASSERT_NE(info, nullptr) << id;
+  }
+  EXPECT_EQ(find_rule("NL022")->severity, Severity::kError);
+  EXPECT_EQ(find_rule("NL023")->severity, Severity::kWarning);
+}
+
+TEST(IncrementalStaTest, DelayFromArrivalMatchesTopologicalDelay) {
+  for (Network net : {carry_skip_adder(8, 2), load_example("parity4.blif")}) {
+    decompose_to_simple(net);
+    EXPECT_EQ(delay_from_arrival(net, compute_arrival(net)),
+              topological_delay(net));
+  }
+}
+
+}  // namespace
+}  // namespace kms

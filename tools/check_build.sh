@@ -72,6 +72,22 @@ ctest --preset checked -L crash --output-on-failure
 echo "== analysis-labelled tests (checked preset) =="
 ctest --preset checked -L analysis --output-on-failure
 
+# Timing stage: the `timing` label covers the STA surface — the
+# per-gate kernels, path enumeration, sensitization, and the
+# incremental engine's property suite (randomized edit walks asserting
+# repaired tables equal a from-scratch recompute under exact double
+# equality, KMS end-state bit-identity with the engine on vs off at
+# jobs 1 and 4, and the NL022-NL028 tamper tests). Then the loop-cost
+# bench runs on the quick circuits and its BENCH_timing.json is
+# validated: any end-state digest mismatch between the engines, or an
+# incremental repair visiting more gates than the full recompute it
+# replaces, fails CI here.
+echo "== timing-labelled tests (checked preset) =="
+ctest --preset checked -L timing --output-on-failure
+echo "== bench smoke: bench_timing --json (checked preset) =="
+"$BUILD_DIR/bench/bench_timing" --json "$CERT_DIR/BENCH_timing.json" --quick
+python3 tools/validate_bench_timing.py "$CERT_DIR/BENCH_timing.json"
+
 # Bench-smoke stage: run the three-engine ATPG comparison (seed /
 # incremental / static pre-pass + incremental) on the quick circuits and
 # validate the emitted BENCH_atpg.json against its kms-bench-atpg-v2

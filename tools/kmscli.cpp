@@ -99,6 +99,8 @@ struct Args {
   std::int64_t conflict_limit = -1; // global SAT conflicts; -1 = unlimited
   unsigned jobs = 1;  // removal workers; 0 = hardware concurrency
   bool jobs_set = false;  // --jobs given (a resume otherwise reuses meta)
+  bool sta_full = false;      // --sta full: per-iteration full recompute
+  bool audit_timing = false;  // --audit-timing: NL024-NL028 per repair
   ResourceGovernor* governor = nullptr;  // installed by main()
 };
 
@@ -112,6 +114,8 @@ int usage() {
                "[--jobs <n>]\n"
                "              [--certify] [--emit-proof <dir>] "
                "[--checkpoint-every <n>]   (irr only)\n"
+               "              [--sta full|incremental] [--audit-timing]"
+               "      (irr only)\n"
                "       kmscli irr --resume <dir> [-o out.blif] [--certify] "
                "[--jobs <n>] ...\n"
                "--jobs: removal-phase worker threads (default 1; 0 = one "
@@ -119,6 +123,12 @@ int usage() {
                "        the result is bit-identical at any worker count\n"
                "--resume: continue a crashed --emit-proof session from its "
                "artifact directory\n"
+               "--sta: loop timing engine (default incremental; results are "
+               "bit-identical either way)\n"
+               "--audit-timing: cross-check the incremental timing tables "
+               "against a full recompute\n"
+               "               every iteration (rules NL024-NL028; exit 2 on "
+               "divergence)\n"
                "exit codes: 0 ok, 1 usage, 2 error, 3 degraded "
                "(limit/SIGINT/SIGTERM; output still valid)\n");
   return 1;
@@ -172,6 +182,17 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->conflict_limit = std::strtoll(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || args->conflict_limit < 0)
         return false;
+    } else if (a == "--sta" && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "full") {
+        args->sta_full = true;
+      } else if (m == "incremental") {
+        args->sta_full = false;
+      } else {
+        return false;
+      }
+    } else if (a == "--audit-timing") {
+      args->audit_timing = true;
     } else if (a == "--jobs" && i + 1 < argc) {
       char* end = nullptr;
       const long long n = std::strtoll(argv[++i], &end, 10);
@@ -451,6 +472,11 @@ int cmd_irr(const Args& args) {
   opts.context.check_invariants = args.check;
   opts.context.jobs =
       resuming && !args.jobs_set ? rs.info.meta.jobs : args.jobs;
+  // Engine selection is free at resume time too: the incremental and
+  // full engines produce bit-identical results, so it is not part of
+  // the session's recorded configuration.
+  opts.incremental_sta = !args.sta_full;
+  opts.audit_timing = args.audit_timing;
   if (dur) opts.context.sink = &*dur;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
   check_stage(args, model.comb, "kms_make_irredundant");
@@ -498,6 +524,13 @@ int cmd_irr(const Args& args) {
         static_cast<unsigned long long>(r.atpg.max_cone_gates),
         r.sim_seconds, r.sat_seconds);
   }
+  if (stats.sta_incremental)
+    std::fprintf(stderr,
+                 "timing: incremental sta, %zu repairs + %zu rebuilds "
+                 "touched %zu gates (per-iteration full recompute: %zu)%s\n",
+                 stats.sta_applies, stats.sta_rebuilds,
+                 stats.sta_gates_repaired, stats.sta_full_visits,
+                 args.audit_timing ? ", audited" : "");
   if (stats.degraded)
     std::fprintf(stderr,
                  "partial result (equivalent, conservatively degraded): "

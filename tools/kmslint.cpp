@@ -20,6 +20,7 @@
 
 #include "src/analysis/rules.hpp"
 #include "src/check/checker.hpp"
+#include "src/timing/checker.hpp"
 #include "src/check/diagnostics.hpp"
 #include "src/check/hooks.hpp"
 #include "src/netlist/blif.hpp"
@@ -88,11 +89,16 @@ Diagnostics lint_file(const std::string& path, const Args& args) {
     CheckOptions opts;
     opts.warnings = args.warnings;
     Diagnostics out = NetworkChecker(opts).run(model.comb);
-    // The analysis-backed rules (NL017-NL021, all warnings) assume the
-    // representation invariants hold; skip them on a structurally
-    // broken netlist rather than crash inside the analysis engine.
-    if (args.warnings && out.error_count() == 0)
-      analysis::run_analysis_rules(model.comb, &out);
+    // The analysis-backed rules (NL017-NL021, all warnings) and the
+    // timing rules (NL022/NL023) assume the representation invariants
+    // hold; skip them on a structurally broken netlist rather than
+    // crash inside the analysis engine. NL022 is error-severity, so the
+    // timing rules run regardless of --no-warn (which only drops the
+    // warning-severity NL023 inside).
+    if (out.error_count() == 0) {
+      if (args.warnings) analysis::run_analysis_rules(model.comb, &out);
+      run_timing_rules(model.comb, &out, 100, args.warnings);
+    }
     return out;
   } catch (const BlifError& e) {
     Diagnostic d;
