@@ -1,0 +1,243 @@
+// Speculative sensitization in the KMS loop: committed SAT queries,
+// loop wall time and loop CPU time with the serial engine
+// (speculate_k=1, jobs=1) versus the speculative one (speculate_k=8,
+// jobs=4).
+//
+// Modes:
+//   bench_kmsloop                  human-readable table
+//   bench_kmsloop --json <path>    kms-bench-kmsloop-v1 JSON (schema
+//                                  documented in DESIGN.md §16), validated
+//                                  by tools/validate_bench_kmsloop.py
+//   bench_kmsloop --json <path> --quick
+//                                  smallest circuit only, one rep (the CI
+//                                  bench-smoke stage)
+//
+// Both configurations run the loop phase only (remove_remaining off):
+// the removal phase has its own parallel engine and would dilute the
+// loop signal. Each configuration runs kReps times and the minimum is
+// reported — the run least disturbed by the host — for both the wall
+// and the CPU clock; on a throttled container wall time is mostly
+// scheduler noise, so CPU seconds are reported alongside as the stable
+// measure of work done. The corpus spans both regimes: single-cone
+// adders and the Table-I substitutes (the component filter keeps the
+// speculative engine out of the way) and a replicated multi-block
+// datapath — the largest circuit here — whose independent critical
+// cones are where speculation pays.
+//
+// Two contracts are measured, not just timed: the BLIF digests of the
+// two end states must match bit for bit, and the speculative run must
+// never *commit* more SAT queries than the serial one (cache hits
+// replace solves; speculative solves are counted separately and never
+// journal). The bench exits 2 if either breaks.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/suite.hpp"
+#include "src/netlist/blif.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
+
+using namespace kms;
+
+namespace {
+
+constexpr int kReps = 3;
+
+struct LoopRun {
+  KmsStats stats;
+  double seconds = 0.0;      ///< min wall seconds over the reps
+  double cpu_seconds = 0.0;  ///< min process-CPU seconds over the reps
+  std::uint64_t digest = 0;  ///< FNV-1a of the end state's BLIF bytes
+};
+
+LoopRun run_loop(const Network& net, std::size_t speculate_k, unsigned jobs,
+                 int reps) {
+  LoopRun run;
+  for (int rep = 0; rep < reps; ++rep) {
+    Network copy = net.clone_compact();
+    KmsOptions opts;
+    opts.speculate_k = speculate_k;
+    opts.context.jobs = jobs;
+    opts.remove_remaining = false;
+    bench::Timer wall;
+    bench::CpuTimer cpu;
+    const KmsStats stats = kms_make_irredundant(copy, opts);
+    const double w = wall.seconds();
+    const double c = cpu.seconds();
+    if (rep == 0) {
+      run.stats = stats;
+      run.seconds = w;
+      run.cpu_seconds = c;
+      run.digest = proof::digest_bytes(write_blif_string(copy));
+    } else {
+      run.seconds = std::min(run.seconds, w);
+      run.cpu_seconds = std::min(run.cpu_seconds, c);
+    }
+  }
+  return run;
+}
+
+struct Row {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t iterations = 0;
+  std::size_t serial_queries = 0;  ///< committed queries, serial engine
+  std::size_t spec_queries = 0;    ///< committed queries, speculative
+  std::size_t spec_solves = 0;     ///< speculative (non-committed) solves
+  std::size_t cache_hits = 0;
+  double serial_seconds = 0.0;
+  double spec_seconds = 0.0;
+  double serial_cpu_seconds = 0.0;
+  double spec_cpu_seconds = 0.0;
+  bool digest_match = false;
+};
+
+Row measure(const std::string& name, Network net, int reps) {
+  decompose_to_simple(net);
+  const LoopRun serial = run_loop(net, /*speculate_k=*/1, /*jobs=*/1, reps);
+  const LoopRun spec = run_loop(net, /*speculate_k=*/8, /*jobs=*/4, reps);
+  Row row;
+  row.name = name;
+  row.gates = net.count_gates();
+  row.iterations = spec.stats.iterations;
+  row.serial_queries = serial.stats.sensitization_queries;
+  row.spec_queries = spec.stats.sensitization_queries;
+  row.spec_solves = spec.stats.spec_solves;
+  row.cache_hits = spec.stats.spec_cache_hits;
+  row.serial_seconds = serial.seconds;
+  row.spec_seconds = spec.seconds;
+  row.serial_cpu_seconds = serial.cpu_seconds;
+  row.spec_cpu_seconds = spec.cpu_seconds;
+  row.digest_match = serial.digest == spec.digest;
+  return row;
+}
+
+std::vector<std::pair<std::string, Network>> corpus(bool quick) {
+  std::vector<std::pair<std::string, Network>> circuits;
+  circuits.emplace_back("csa_8_2", carry_skip_adder(8, 2));
+  if (quick) return circuits;
+  circuits.emplace_back("csa_16_4", carry_skip_adder(16, 4));
+  circuits.emplace_back("rca_16", ripple_carry_adder(16));
+  for (const SuiteSpec& spec : benchmark_suite())
+    circuits.emplace_back(spec.name, build_suite_circuit(spec));
+  // The largest example: eight disjoint carry-skip slices side by side,
+  // the multi-block shape whose independent critical cones the
+  // speculative engine banks verdicts across.
+  circuits.emplace_back("csa_8_2_x8",
+                        replicate_blocks(carry_skip_adder(8, 2), 8));
+  return circuits;
+}
+
+int run(const std::string& json_path, bool quick) {
+  const int reps = quick ? 1 : kReps;
+  std::vector<Row> rows;
+  bool mismatch = false;
+  bool extra_committed = false;
+  for (auto& [name, net] : corpus(quick)) {
+    std::fprintf(stderr, "bench_kmsloop: %s\n", name.c_str());
+    rows.push_back(measure(name, std::move(net), reps));
+    mismatch |= !rows.back().digest_match;
+    extra_committed |= rows.back().spec_queries > rows.back().serial_queries;
+  }
+
+  std::printf("KMS loop speculation: committed queries, wall and CPU time "
+              "(min of %d), serial (k=1,j=1) vs speculative (k=8,j=4)\n",
+              reps);
+  bench::rule('=', 100);
+  std::printf("%-10s %6s %5s %8s %8s %8s %5s %8s %8s %8s %8s %5s\n",
+              "circuit", "gates", "iter", "ser-qry", "spec-qry", "spec-slv",
+              "hits", "ser[s]", "spec[s]", "serCPU", "specCPU", "match");
+  bench::rule('-', 100);
+  double sum_serial_s = 0.0, sum_spec_s = 0.0;
+  double sum_serial_cpu = 0.0, sum_spec_cpu = 0.0;
+  for (const Row& r : rows) {
+    sum_serial_s += r.serial_seconds;
+    sum_spec_s += r.spec_seconds;
+    sum_serial_cpu += r.serial_cpu_seconds;
+    sum_spec_cpu += r.spec_cpu_seconds;
+    std::printf(
+        "%-10s %6zu %5zu %8zu %8zu %8zu %5zu %8.3f %8.3f %8.3f %8.3f %5s\n",
+        r.name.c_str(), r.gates, r.iterations, r.serial_queries,
+        r.spec_queries, r.spec_solves, r.cache_hits, r.serial_seconds,
+        r.spec_seconds, r.serial_cpu_seconds, r.spec_cpu_seconds,
+        r.digest_match ? "yes" : "NO");
+  }
+  bench::rule('-', 100);
+  std::printf("suite totals: wall serial %.3fs vs speculative %.3fs, "
+              "CPU serial %.3fs vs speculative %.3fs\n",
+              sum_serial_s, sum_spec_s, sum_serial_cpu, sum_spec_cpu);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "bench_kmsloop: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out, "{\n  \"schema\": \"kms-bench-kmsloop-v1\",\n");
+    std::fprintf(out, "  \"reps\": %d,\n", reps);
+    std::fprintf(out, "  \"serial_seconds\": %.6f,\n", sum_serial_s);
+    std::fprintf(out, "  \"speculative_seconds\": %.6f,\n", sum_spec_s);
+    std::fprintf(out, "  \"serial_cpu_seconds\": %.6f,\n", sum_serial_cpu);
+    std::fprintf(out, "  \"speculative_cpu_seconds\": %.6f,\n", sum_spec_cpu);
+    std::fprintf(out, "  \"circuits\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          out,
+          "    {\"name\": \"%s\", \"gates\": %zu, \"iterations\": %zu,\n"
+          "     \"serial_committed_queries\": %zu, "
+          "\"speculative_committed_queries\": %zu,\n"
+          "     \"speculative_solves\": %zu, \"cache_hits\": %zu,\n"
+          "     \"serial_seconds\": %.6f, \"speculative_seconds\": %.6f,\n"
+          "     \"serial_cpu_seconds\": %.6f, "
+          "\"speculative_cpu_seconds\": %.6f, \"digest_match\": %s}%s\n",
+          r.name.c_str(), r.gates, r.iterations, r.serial_queries,
+          r.spec_queries, r.spec_solves, r.cache_hits, r.serial_seconds,
+          r.spec_seconds, r.serial_cpu_seconds, r.spec_cpu_seconds,
+          r.digest_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+
+  if (mismatch) {
+    std::fprintf(stderr,
+                 "bench_kmsloop: FAILED — engines produced different end "
+                 "states\n");
+    return 2;
+  }
+  if (extra_committed) {
+    std::fprintf(stderr,
+                 "bench_kmsloop: FAILED — speculation committed more "
+                 "queries than the serial engine\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_kmsloop [--json <path>] [--quick]\n");
+      return 1;
+    }
+  }
+  return run(json_path, quick);
+}

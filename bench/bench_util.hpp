@@ -1,6 +1,8 @@
 // Shared helpers for the benchmark/reproduction binaries.
 #pragma once
 
+#include <ctime>
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -18,6 +20,23 @@ class Timer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Process CPU time (all threads). On a throttled or shared host the
+/// wall clock is dominated by scheduler noise; CPU seconds measure the
+/// work actually done and stay stable run to run.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+  double start_;
 };
 
 inline void rule(char c = '-', int n = 78) {

@@ -4,9 +4,13 @@
 #include <optional>
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "src/base/log.hpp"
+#include "src/base/parallel.hpp"
 #include "src/check/checker.hpp"
 #include "src/check/hooks.hpp"
+#include "src/core/speculate.hpp"
 #include "src/core/verdict.hpp"
 #include "src/netlist/transform.hpp"
 #include "src/proof/journal.hpp"
@@ -139,6 +143,30 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
         *computed = r.delay;
       };
   std::size_t base_unknown = 0;
+  // The incremental engine's counters flow into stats continuously (they
+  // serialize into every loop-phase checkpoint, not just the final
+  // result): `sta_restored` carries the totals a resumed run starts
+  // from, `sta_base` subtracts whatever the attached engine instance had
+  // already counted when it came up — for a resumed run that is the
+  // attach-time constructor rebuild, which the uninterrupted run never
+  // performed and which therefore must not inflate the restored totals.
+  struct StaBase {
+    std::size_t applies = 0, rebuilds = 0, repaired = 0, full = 0;
+  };
+  StaBase sta_restored;
+  StaBase sta_base;
+  const auto sync_sta = [&] {
+    if (!sta) return;
+    const IncrementalSta::Stats& ss = sta->stats();
+    stats.sta_incremental = true;
+    stats.sta_applies = sta_restored.applies + (ss.applies - sta_base.applies);
+    stats.sta_rebuilds =
+        sta_restored.rebuilds + (ss.rebuilds - sta_base.rebuilds);
+    stats.sta_gates_repaired =
+        sta_restored.repaired + (ss.repaired() - sta_base.repaired);
+    stats.sta_full_visits =
+        sta_restored.full + (ss.full_equivalent - sta_base.full);
+  };
   if (res != nullptr) {
     // Resumed run: the caller already replayed the journal prefix onto
     // `net` (decomposition included) and restored the committed
@@ -147,7 +175,16 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // travel in the restored stats.
     stats = res->stats;
     base_unknown = stats.unknown_queries;
-    if (opts.incremental_sta) sta.emplace(net);
+    sta_restored = {stats.sta_applies, stats.sta_rebuilds,
+                    stats.sta_gates_repaired, stats.sta_full_visits};
+    if (opts.incremental_sta) {
+      sta.emplace(net);
+      const IncrementalSta::Stats& ss = sta->stats();
+      sta_base = {static_cast<std::size_t>(ss.applies),
+                  static_cast<std::size_t>(ss.rebuilds),
+                  static_cast<std::size_t>(ss.repaired()),
+                  static_cast<std::size_t>(ss.full_equivalent)};
+    }
   } else {
     stats.decomposed_complex = decompose_to_simple(net);
     checkpoint("kms:decompose_to_simple");
@@ -160,6 +197,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     measure(&stats.initial_topo_delay, &stats.initial_computed_delay);
     if (ctx.sink != nullptr) {
       // First resumable state: decomposed, measured, zero iterations.
+      sync_sta();
       recover::CommitPoint cp;
       cp.net = &net;
       cp.phase = "loop";
@@ -170,13 +208,50 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   }
 
   const bool run_loop = res == nullptr || res->phase == "loop";
+  // The loop's sensitization machinery persists across iterations: the
+  // enumerator is re-seeded per iteration instead of reconstructed (a
+  // full suffix recompute plus an O(capacity) copy each time, even with
+  // the incremental engine maintaining the table in place), and the
+  // speculative engine carries its verdict cache from commit to commit.
+  // The worker pool exists only when there is speculation to overlap.
+  std::optional<PathEnumerator> en;
+  std::optional<ThreadPool> pool;
+  std::optional<SpeculativeSensitizer> spec;
+  const std::size_t spec_k = opts.speculate_k == 0 ? 1 : opts.speculate_k;
+  const SpeculateStats spec_restored = {
+      stats.spec_batches, stats.spec_solves, stats.spec_cache_hits,
+      stats.spec_cache_insertions, stats.spec_cache_invalidated};
+  const auto sync_spec = [&] {
+    if (!spec) return;
+    const SpeculateStats& sp = spec->stats();
+    stats.spec_batches = spec_restored.batches + sp.batches;
+    stats.spec_solves = spec_restored.solves + sp.solves;
+    stats.spec_cache_hits = spec_restored.cache_hits + sp.cache_hits;
+    stats.spec_cache_insertions =
+        spec_restored.cache_insertions + sp.cache_insertions;
+    stats.spec_cache_invalidated =
+        spec_restored.cache_invalidated + sp.cache_invalidated;
+  };
+  if (run_loop) {
+    // Verdict-only batches always solve inline on one shared encoding
+    // (amortization beats overlap there), so the pool is only worth its
+    // idle cost when certificate capture forces per-path solvers.
+    if (session != nullptr && spec_k > 1 && ctx.effective_jobs() > 1)
+      pool.emplace(static_cast<unsigned>(
+          std::min<std::size_t>(ctx.effective_jobs(), spec_k)));
+    spec.emplace(net, opts.mode, spec_k, gov, /*want_certs=*/session != nullptr,
+                 pool ? &*pool : nullptr);
+  }
   while (run_loop && stats.iterations < opts.max_iterations) {
     // Bounded run: stop transforming the moment the governor trips.
     // Exiting the loop at any iteration is safe — the delay invariant
     // (Theorems 7.1/7.2) is maintained per iteration, not only at the
     // natural fixpoint — and the final removal phase below degrades on
     // its own terms (it only deletes *proved* redundancies).
-    if (gov && gov->should_stop()) break;
+    if (gov && gov->should_stop()) {
+      stats.loop_exit = "governor";
+      break;
+    }
     // Fig. 3 tests whether ALL longest paths are unsensitizable before
     // transforming; the theorems, however, only require the *chosen*
     // path P to be a longest path that is not sensitizable (Theorem
@@ -190,24 +265,59 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // bounds and the sensitizer's arrival table come from the
     // maintained tables (bit-identical to the full passes they
     // replace, so path choice and verdicts are unchanged).
-    auto chosen = sta ? PathEnumerator(net, sta->suffix()).next()
-                      : PathEnumerator(net).next();
-    if (!chosen) break;  // no IO-paths left at all
-    Path path = std::move(*chosen);
+    if (!en) {
+      if (sta)
+        en.emplace(net, sta->suffix());
+      else
+        en.emplace(net);
+    } else {
+      en->reseed();
+    }
+    // The initial construction counts as a seed pass too, so a resumed
+    // run (which constructs a fresh enumerator where the uninterrupted
+    // run re-seeded) reports the same totals.
+    ++stats.sta_enum_reseeds;
+    stats.sta_enum_seed_visits += en->last_seed_visits();
 
-    Sensitizer sens(net, opts.mode, gov, session,
-                    sta ? &sta->arrival() : nullptr);
-    const SensitizeResult sres = sens.check(path);
-    stats.sensitization_queries += sens.queries();
+    // The speculative engine draws the top-k candidates, serves or
+    // solves the authoritative (enumeration-first) one, and banks the
+    // rest; with speculate_k == 1 this is exactly one next() and one
+    // check() — the serial engine's shape, query for query.
+    auto outcome = spec->step(*en, sta ? &sta->arrival() : nullptr);
+    if (!outcome) {
+      stats.loop_exit = "no-paths";
+      break;  // no IO-paths left at all
+    }
+    Path path = std::move(outcome->path);
+    stats.sensitization_queries += outcome->committed_queries;
+    sync_spec();
+    const SensitizeResult& sres = outcome->result;
     // Only a *proved* kUnsat licenses the transformation (Theorem 7.2's
     // premise is that P is not sensitizable). kSat is the natural exit;
     // kUnknown degrades the same way — treat the path as sensitizable
     // and fall through to plain removal rather than transform on an
     // unproved premise.
     if (sres.verdict != sat::Result::kUnsat) {
+      stats.loop_exit = verdict_name(sres.verdict);
+      // A kUnknown exit is a conservative fallback even when no
+      // governor is attached to attribute it (certificate-extraction
+      // failures degrade this way too): record it as degradation so it
+      // is never mistaken for the natural kSat exit.
+      if (sres.verdict == sat::Result::kUnknown) stats.degraded = true;
       if (session)
         session->journal.add_path_giveup(verdict_name(sres.verdict));
       break;
+    }
+    // Committed kUnsat: register and journal the captured certificate
+    // now, in commit order, so certificate ids stay sequential and the
+    // journal is byte-identical to the serial engine's (which journals
+    // inside its single check() call at this same point). Speculative
+    // verdicts never reach the session.
+    if (session) {
+      std::int64_t proof_id = -1;
+      if (sres.certificate)
+        proof_id = session->add_certificate(*sres.certificate);
+      session->journal.add_path_unsens(format_path(net, path), proof_id);
     }
     KMS_LOG(kDebug) << "kms: transforming longest path (len=" << path.length
                     << "): " << format_path(net, path);
@@ -247,6 +357,10 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     if (session) session->journal.add_constant(pp.conns[0].value());
     assert_first_edge_constant(net, pp, &trace);
     if (sta) sta->apply(trace);
+    // Same trace, same watermark: drop the speculative verdicts whose
+    // support this commit's edits (or the sweep) could have staled.
+    spec->invalidate(trace);
+    sync_spec();
     checkpoint("kms:constant_propagation");
     timing_checkpoint("kms:constant_propagation");
     ++stats.constants_set;
@@ -255,6 +369,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
       // One loop iteration is one committed, replayable unit: every
       // step of it is in the journal (the unsens verdict, the
       // duplication, the constant) and the surgery is done.
+      sync_sta();
       recover::CommitPoint cp;
       cp.net = &net;
       cp.phase = "loop";
@@ -265,6 +380,8 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   }
 
   stats.iteration_cap_hit = stats.iterations >= opts.max_iterations;
+  if (run_loop && stats.loop_exit.empty() && stats.iteration_cap_hit)
+    stats.loop_exit = "iteration-cap";
   if (opts.remove_remaining) {
     RedundancyRemovalOptions removal = opts.removal;
     // The run's context wins over whatever the nested options carried:
@@ -286,6 +403,7 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
       // Phase boundary: the loop is done (its exit step, if any, is in
       // the journal) and removal has not started. A resumed removal
       // phase already has this checkpoint on disk.
+      sync_sta();
       recover::CommitPoint cp;
       cp.net = &net;
       cp.phase = "removal";
@@ -310,17 +428,12 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   stats.final_gates = net.count_gates();
   stats.final_max_fanout = net.max_fanout();
   measure(&stats.final_topo_delay, &stats.final_computed_delay);
-  if (sta) {
-    const IncrementalSta::Stats& ss = sta->stats();
-    stats.sta_incremental = true;
-    // += rather than =: a resumed run's restored stats carry the
-    // pre-crash repair counters; this engine instance only saw the
-    // post-resume edits.
-    stats.sta_applies += ss.applies;
-    stats.sta_rebuilds += ss.rebuilds;
-    stats.sta_gates_repaired += ss.repaired();
-    stats.sta_full_visits += ss.full_equivalent;
-  }
+  // Final synchronization of the engine counters. sync_sta diffs
+  // against the restored totals and this instance's attach-time base,
+  // so a resumed run reports exactly what the uninterrupted run would —
+  // the old `+=` fold here both missed the loop-phase checkpoints
+  // (they serialized zeros) and double-counted the attach-time rebuild.
+  sync_sta();
   if (gov) {
     const GovernorReport gr = gov->report();
     // base_unknown carries a resumed run's pre-crash count; OR-ing the

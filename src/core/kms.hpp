@@ -49,6 +49,18 @@ struct KmsOptions {
   /// Run the final removal phase (disable to study the loop alone).
   bool remove_remaining = true;
 
+  /// Speculation width of the loop's sensitization engine
+  /// (src/core/speculate.hpp): each iteration draws the top
+  /// `speculate_k` candidate longest paths and dispatches their SAT
+  /// queries across the context's worker pool; the first path's verdict
+  /// is authoritative and committed exactly as the serial engine would,
+  /// later verdicts are cached and survive commits whose dirty cone
+  /// misses their support. 1 (the default) keeps the loop serial. End
+  /// states, journal and proof artifacts are bit-identical at any width
+  /// and any jobs count; like context.jobs, this knob is not part of a
+  /// durable session's recorded configuration.
+  std::size_t speculate_k = 1;
+
   /// Maintain arrival/required/slack/suffix tables incrementally across
   /// the loop (src/timing/incremental.hpp) instead of recomputing them
   /// from scratch every iteration. Results are bit-identical either way
@@ -126,7 +138,19 @@ struct KmsStats {
   bool path_cap_hit = false;       ///< sensitization query budget exhausted
   bool iteration_cap_hit = false;  ///< loop stopped by max_iterations
 
-  // Graceful-degradation bookkeeping (set only when a governor ran).
+  /// Why the while-loop stopped: "" while it is still running (or for a
+  /// run resumed past it before it recorded an exit), "sat" for the
+  /// natural exit (some longest path proved sensitizable), "unknown"
+  /// for a resource-degraded exit (the verdict was conservatively
+  /// treated as sensitizable — `degraded` is set alongside), "governor"
+  /// when should_stop() tripped between iterations, "no-paths" when no
+  /// IO-path remained, "iteration-cap" when max_iterations hit. Before
+  /// this field existed a kUnknown exit was indistinguishable from a
+  /// natural kSat exit in the stats.
+  std::string loop_exit;
+
+  // Graceful-degradation bookkeeping (set only when a governor ran,
+  // except `degraded`, which a proofless kUnknown exit also sets).
   std::size_t unknown_queries = 0;  ///< SAT solves stopped before a verdict
   bool deadline_hit = false;        ///< wall-clock limit reached
   bool budget_exhausted = false;    ///< global conflict/propagation budget
@@ -149,6 +173,23 @@ struct KmsStats {
   /// (two passes over every live gate per repair) — the denominator of
   /// the repaired fraction reported by bench_timing.
   std::size_t sta_full_visits = 0;
+  /// Seed passes of the loop's persistent PathEnumerator — one per loop
+  /// iteration, the initial construction included (so resumed totals
+  /// match the uninterrupted run's). The enumerator is constructed once
+  /// and cheaply re-seeded per iteration instead of rebuilt from
+  /// scratch.
+  std::size_t sta_enum_reseeds = 0;
+  /// Gate visits spent by those (re)seeding passes — the per-iteration
+  /// enumerator cost that replaced a full suffix recompute + copy.
+  std::size_t sta_enum_seed_visits = 0;
+
+  // Speculative-sensitization observability (src/core/speculate.hpp;
+  // all zero when speculate_k == 1).
+  std::size_t spec_batches = 0;      ///< iterations that dispatched a batch
+  std::size_t spec_solves = 0;       ///< speculative (non-committed) queries
+  std::size_t spec_cache_hits = 0;   ///< committed verdicts served cached
+  std::size_t spec_cache_insertions = 0;
+  std::size_t spec_cache_invalidated = 0;
 };
 
 /// Committed mid-run state of a previous kms_make_irredundant call, as

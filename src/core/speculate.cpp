@@ -1,0 +1,352 @@
+#include "src/core/speculate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/governor.hpp"
+#include "src/base/parallel.hpp"
+#include "src/proof/drat.hpp"
+
+namespace kms {
+
+namespace {
+constexpr std::uint32_t kNoComp = 0xffffffffu;
+}  // namespace
+
+SpeculativeSensitizer::SpeculativeSensitizer(const Network& net,
+                                             SensitizationMode mode,
+                                             std::size_t k,
+                                             ResourceGovernor* governor,
+                                             bool want_certs, ThreadPool* pool)
+    : net_(net),
+      mode_(mode),
+      k_(k == 0 ? 1 : k),
+      gov_(governor),
+      want_certs_(want_certs),
+      pool_(pool) {
+  // Label the connected components of the live network (undirected,
+  // over live connections). Commits only ever remove connectivity, so
+  // these labels stay an over-approximation of every later component —
+  // exactly what the candidate filter and the invalidation rule need.
+  const std::uint32_t capacity =
+      static_cast<std::uint32_t>(net_.gate_capacity());
+  comp_.assign(capacity, kNoComp);
+  dead_seen_.assign(capacity, false);
+  std::vector<GateId> stack;
+  for (std::uint32_t g = 0; g < capacity; ++g) {
+    if (net_.gate(GateId{g}).dead) {
+      dead_seen_[g] = true;
+      continue;
+    }
+    if (comp_[g] != kNoComp) continue;
+    const std::uint32_t label = comp_count_++;
+    comp_[g] = label;
+    stack.push_back(GateId{g});
+    while (!stack.empty()) {
+      const GateId cur = stack.back();
+      stack.pop_back();
+      const auto visit = [&](GateId nb) {
+        if (comp_[nb.value()] != kNoComp) return;
+        comp_[nb.value()] = label;
+        stack.push_back(nb);
+      };
+      const Gate& gt = net_.gate(cur);
+      for (ConnId c : gt.fanins) {
+        const Conn& cn = net_.conn(c);
+        if (!cn.dead) visit(cn.from);
+      }
+      for (ConnId c : gt.fanouts) {
+        const Conn& cn = net_.conn(c);
+        if (!cn.dead) visit(cn.to);
+      }
+    }
+  }
+  // How many components can host a path at all: every IO-path ends at
+  // an output, no output is ever created mid-run, and labels never
+  // change (edits only split components), so the construction-time
+  // count of output-bearing labels bounds the distinct labels the
+  // enumerator can ever return. The candidate scan stops against this
+  // bound, not comp_count_ — later commits strand isolated live gates
+  // whose fresh singleton labels would otherwise keep the scan drawing
+  // for components no path can be in.
+  std::vector<bool> counted(comp_count_, false);
+  for (const GateId o : net_.outputs()) {
+    if (net_.gate(o).dead) continue;
+    const std::uint32_t c = comp_[o.value()];
+    if (c != kNoComp && !counted[c]) {
+      counted[c] = true;
+      ++path_comp_count_;
+    }
+  }
+}
+
+std::uint32_t SpeculativeSensitizer::comp_of(GateId g) {
+  if (g.value() < comp_.size() && comp_[g.value()] != kNoComp)
+    return comp_[g.value()];
+  if (comp_.size() < net_.gate_capacity()) {
+    comp_.resize(net_.gate_capacity(), kNoComp);
+  }
+  // A gate created after construction (a duplicate) adopts the label of
+  // whatever it is attached to: breadth-first over live connections
+  // until a labelled gate is found. Duplicates are always spliced into
+  // existing structure, so this terminates at a label in practice; a
+  // genuinely detached gate gets a fresh singleton label.
+  std::vector<std::uint32_t> visited{g.value()};
+  std::vector<bool> seen(comp_.size(), false);
+  seen[g.value()] = true;
+  std::uint32_t found = kNoComp;
+  for (std::size_t head = 0; head < visited.size() && found == kNoComp;
+       ++head) {
+    const Gate& gt = net_.gate(GateId{visited[head]});
+    const auto visit = [&](GateId nb) {
+      if (found != kNoComp) return;
+      if (comp_[nb.value()] != kNoComp) {
+        found = comp_[nb.value()];
+        return;
+      }
+      if (!seen[nb.value()]) {
+        seen[nb.value()] = true;
+        visited.push_back(nb.value());
+      }
+    };
+    for (ConnId c : gt.fanins) {
+      const Conn& cn = net_.conn(c);
+      if (!cn.dead) visit(cn.from);
+      if (found != kNoComp) break;
+    }
+    for (ConnId c : gt.fanouts) {
+      if (found != kNoComp) break;
+      const Conn& cn = net_.conn(c);
+      if (!cn.dead) visit(cn.to);
+    }
+  }
+  if (found == kNoComp) found = comp_count_++;
+  for (const std::uint32_t v : visited) comp_[v] = found;
+  return found;
+}
+
+const SpeculativeSensitizer::Entry* SpeculativeSensitizer::lookup(
+    const Path& p) const {
+  const auto it = cache_.find(path_signature(p));
+  if (it == cache_.end()) return nullptr;
+  // A signature match is only a candidate: resolve hash collisions by
+  // exact identity, and re-check liveness defensively (invalidate()
+  // already dropped anything the last commit could have staled).
+  if (!same_path(it->second.path, p)) return nullptr;
+  return &it->second;
+}
+
+void SpeculativeSensitizer::insert(Path path, std::uint32_t comp,
+                                   const SensitizeResult& r) {
+  Entry e;
+  e.comp = comp;
+  e.path = std::move(path);
+  e.verdict = r.verdict;
+  e.certificate = r.certificate;
+  cache_[path_signature(e.path)] = std::move(e);
+  ++comp_banked_[comp];
+  ++stats_.cache_insertions;
+}
+
+void SpeculativeSensitizer::drop(
+    std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  const auto banked = comp_banked_.find(it->second.comp);
+  if (banked != comp_banked_.end() && banked->second > 0) --banked->second;
+  cache_.erase(it);
+}
+
+void SpeculativeSensitizer::solve_one(const Path& p,
+                                      const std::vector<double>* arrival_seed,
+                                      SensitizeResult* out,
+                                      std::size_t* queries) const {
+  // One fresh Sensitizer per path: the solver starts from the same
+  // empty learned-clause state the serial engine's per-iteration
+  // instance does, so the committed certificate's bytes cannot depend
+  // on which worker solved it or what it solved before.
+  Sensitizer sens(net_, mode_, gov_, /*session=*/nullptr, arrival_seed,
+                  /*capture=*/want_certs_);
+  *out = sens.check(p);
+  *queries = sens.queries();
+}
+
+std::optional<SpeculativeSensitizer::Outcome> SpeculativeSensitizer::step(
+    PathEnumerator& en, const std::vector<double>* arrival_seed) {
+  auto first = en.next();
+  if (!first) return std::nullopt;
+
+  Outcome out;
+  if (const Entry* hit = lookup(*first)) {
+    // The authoritative verdict was speculated on an earlier iteration
+    // and its component survived every commit since: commit it without
+    // a solve. Consumed on the spot — a kUnsat licenses a transform
+    // that immediately dirties the path's own cone, a kSat exits the
+    // loop.
+    ++stats_.cache_hits;
+    out.path = std::move(*first);
+    out.result.verdict = hit->verdict;
+    out.result.certificate = hit->certificate;
+    out.from_cache = true;
+    drop(cache_.find(path_signature(out.path)));
+    return out;
+  }
+
+  // Miss: assemble the batch — the authoritative path plus up to k-1
+  // uncached speculative candidates in enumeration order, one per
+  // *other* connected component. Same-component candidates are skipped:
+  // a kUnsat commit is the common case and its transform edits exactly
+  // that region, so such a verdict would be banked only to be
+  // invalidated before it could ever be spent. Survivors come from
+  // independent cones (parallel blocks whose longest paths tie); on a
+  // circuit whose critical region is a single component the scan finds
+  // nothing — it stops the moment every component is spoken for — and
+  // the batch degenerates to the serial shape. Selection depends only
+  // on the committed network state, never on solver schedule, so it is
+  // deterministic.
+  std::vector<Path> work;
+  std::vector<std::uint32_t> comps;  // of work[1..], parallel
+  work.reserve(k_);
+  work.push_back(std::move(*first));
+  if (k_ > 1 && path_comp_count_ > 1) {
+    std::vector<std::uint32_t> taken;
+    taken.push_back(comp_of(work[0].source));
+    // The scan budget bounds the per-iteration enumeration cost; paths
+    // drawn but not selected are re-offered after the commit's reseed.
+    for (std::size_t drawn = 0; drawn < 4 * k_ && work.size() < k_ &&
+                                taken.size() < path_comp_count_;
+         ++drawn) {
+      auto p = en.next();
+      if (!p) break;
+      if (lookup(*p) != nullptr) continue;  // verdict already banked
+      const std::uint32_t cc = comp_of(p->source);
+      if (std::find(taken.begin(), taken.end(), cc) != taken.end()) continue;
+      const auto banked = comp_banked_.find(cc);
+      if (banked != comp_banked_.end() && banked->second > 0) {
+        // This component already holds a banked verdict for a different
+        // path; a second one would just be collateral when the first is
+        // spent. Spend the scan budget elsewhere.
+        continue;
+      }
+      taken.push_back(cc);
+      comps.push_back(cc);
+      work.push_back(std::move(*p));
+    }
+  }
+
+  // A batch of one is the serial engine's shape, not speculation; the
+  // counter (and the CLI line keyed on it) only reports real overlap.
+  if (work.size() > 1) ++stats_.batches;
+  std::vector<SensitizeResult> results(work.size());
+  std::vector<std::size_t> queries(work.size(), 0);
+  // Speculative lanes stand down once the governor has tripped — the
+  // run is winding toward its conservative exit and extra solves would
+  // only inflate the unknown counters. The authoritative lane always
+  // solves, exactly like the serial engine.
+  const auto tripped = [&](std::size_t t) {
+    return t != 0 && gov_ != nullptr && gov_->should_stop();
+  };
+  if (want_certs_) {
+    // Certificate capture: one fresh Sensitizer per path (solve_one),
+    // so a committed certificate's bytes never depend on what a shared
+    // solver happened to learn first, and the worker pool genuinely
+    // overlaps the per-path encoding+solve cost.
+    const auto run_ticket = [&](std::size_t t) {
+      if (tripped(t)) return;
+      solve_one(work[t], arrival_seed, &results[t], &queries[t]);
+    };
+    if (pool_ != nullptr && work.size() > 1) {
+      TicketQueue tickets(work.size());
+      pool_->run([&](unsigned) {
+        for (std::size_t t = tickets.next(); t < tickets.size();
+             t = tickets.next())
+          run_ticket(t);
+      });
+    } else {
+      for (std::size_t t = 0; t < work.size(); ++t) run_ticket(t);
+    }
+  } else {
+    // Verdict-only mode: one shared Sensitizer for the whole batch,
+    // solved inline. Constructing the Tseitin encoding dominates an
+    // easy solve by orders of magnitude, so the batch amortizes one
+    // encoding across all k paths — a speculative verdict costs a
+    // marginal incremental query, not a fresh encoding, which is what
+    // lets cache hits reduce total work even on a single hardware
+    // thread (where pool dispatch could only timeshare strictly more
+    // work). Verdicts stay deterministic: kSat/kUnsat are properties
+    // of the formula, independent of solver warm-up order.
+    std::optional<Sensitizer> shared;
+    for (std::size_t t = 0; t < work.size(); ++t) {
+      if (tripped(t)) continue;
+      if (!shared)
+        shared.emplace(net_, mode_, gov_, /*session=*/nullptr, arrival_seed,
+                       /*capture=*/false);
+      const std::size_t before = shared->queries();
+      results[t] = shared->check(work[t]);
+      queries[t] = shared->queries() - before;
+    }
+  }
+
+  for (std::size_t t = 1; t < work.size(); ++t) {
+    stats_.solves += queries[t];
+    // Never park a kUnknown: a governor stop is a resource event, not a
+    // verdict, and replaying it from the cache could mask a later
+    // successful solve.
+    if (results[t].verdict == sat::Result::kUnknown) continue;
+    insert(std::move(work[t]), comps[t - 1], results[t]);
+  }
+  out.path = std::move(work[0]);
+  out.result = std::move(results[0]);
+  out.committed_queries = queries[0];
+  return out;
+}
+
+void SpeculativeSensitizer::invalidate(const TransformTrace& trace) {
+  const std::uint32_t capacity =
+      static_cast<std::uint32_t>(net_.gate_capacity());
+  // Resolve component labels for every gate this commit created while
+  // its connections are still live — a later commit may kill it, and a
+  // dead gate can no longer tell us where it was attached.
+  if (comp_.size() < capacity) {
+    const std::uint32_t first_new = static_cast<std::uint32_t>(comp_.size());
+    for (std::uint32_t g = first_new; g < capacity; ++g)
+      if (!net_.gate(GateId{g}).dead) comp_of(GateId{g});
+    if (comp_.size() < capacity) comp_.resize(capacity, kNoComp);
+  }
+  if (dead_seen_.size() < capacity) dead_seen_.resize(capacity, false);
+  // Components edited by this commit: `touched` names every gate whose
+  // kind, fanin list or fanin sources changed (the TransformTrace
+  // contract), a severed edge can only alter its endpoints' local
+  // structure, and the dead scan catches sweep victims the trace cannot
+  // name. A verdict is a pure function of its support subnetwork, which
+  // its component contains, so an entry stales only when its component
+  // was edited — no TFI(TFO(seed)) expansion as in the fault cache,
+  // whose verdicts also depend on downstream observability.
+  std::vector<std::uint32_t> edited;
+  const auto mark = [&](GateId g) {
+    const std::uint32_t c = comp_of(g);
+    if (std::find(edited.begin(), edited.end(), c) == edited.end())
+      edited.push_back(c);
+  };
+  for (std::uint32_t g = 0; g < capacity; ++g) {
+    if (!net_.gate(GateId{g}).dead || dead_seen_[g]) continue;
+    dead_seen_[g] = true;
+    mark(GateId{g});
+  }
+  if (cache_.empty()) return;
+  for (const GateId g : trace.touched) mark(g);
+  for (const auto& [from, to] : trace.severed) {
+    mark(from);
+    mark(to);
+  }
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (std::find(edited.begin(), edited.end(), it->second.comp) !=
+        edited.end()) {
+      const auto victim = it++;
+      drop(victim);
+      ++stats_.cache_invalidated;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace kms

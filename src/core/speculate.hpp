@@ -1,0 +1,176 @@
+// Speculative batched path sensitization for the KMS loop.
+//
+// The Fig. 3 loop issues one sensitization SAT query per iteration and
+// is fully serialized on it. This engine batches that work: each
+// iteration it draws the top-k candidate longest paths from the
+// caller's PathEnumerator and sensitizes them together. The first
+// path's verdict is authoritative — it is returned to the loop and
+// committed exactly as the serial engine would commit it, in
+// enumeration order — while the later, speculative verdicts are parked
+// in a cache keyed by path signature (src/timing/path.hpp) and spent on
+// future iterations whose authoritative path they match.
+//
+// What makes a speculated verdict worth banking: a sensitization
+// verdict is a pure function of the fanin closure of the path's gates
+// over live connections. Every side-input constraint names the source
+// gate of a fanin of a path gate (inside the closure), the viability
+// smoothing threshold compares arrivals of those sources (determined by
+// their own fanin cones, also inside the closure because the closure is
+// transitively closed), and the rest of the CNF encoding is satisfiable
+// independently of those constraints. A verdict therefore survives
+// every commit that does not edit its closure. The engine
+// over-approximates the closure by the path's *connected component*
+// (undirected, over live connections, labelled once at construction —
+// edits only ever split components, so the construction-time label
+// always contains the current closure): candidates are only speculated
+// on when their component differs from the authoritative path's (a
+// kUnsat commit edits exactly that region, so a same-component verdict
+// would be banked only to be invalidated before it could be spent), at
+// most one verdict per component is held, and a commit invalidates
+// exactly the entries whose component the TransformTrace (or the sweep)
+// edited. The component test costs O(1) per candidate, which keeps the
+// scan for independent candidates off the loop's critical path; on a
+// circuit whose critical region is one component the batch degenerates
+// to the serial shape and speculation costs nothing. kUnknown is never
+// cached (a governor stop is not a verdict).
+//
+// How a batch is solved depends on whether proofs are being captured.
+// In verdict-only mode the whole batch shares one Sensitizer: building
+// the Tseitin encoding dominates an easy solve by orders of magnitude,
+// so the k-1 speculative verdicts cost marginal incremental queries on
+// the already-built encoding, and every later cache hit then saves a
+// full encoding+solve — a net reduction in total work that holds even
+// on a single hardware thread. In certificate-capture mode each path
+// instead gets a fresh Sensitizer (own solver, encoding, proof trace)
+// and the batch is dispatched across the PR-5 worker pool: committed
+// certificate bytes must not depend on what a shared solver learned
+// first, so amortization is traded for proof fidelity and the pool
+// overlaps the per-path cost instead.
+//
+// Determinism: the committed verdict for a given network state is the
+// same three-valued answer the serial engine computes (cache entries
+// are semantically determined, kSat/kUnsat are properties of the
+// encoded formula independent of solver warm-up, and candidate
+// selection reads only committed network state), and the loop's
+// journal/proof, checkpoint and IncrementalSta repair all ride only on
+// that commit. End states are therefore bit-identical with speculation
+// on or off at any worker count, and speculative solves never journal
+// (workers run the Sensitizer in capture mode): the journal's bytes and
+// the certificate count and order match the serial engine's exactly. A
+// certificate spent from the cache was captured against the network
+// state of the iteration that solved it — certificates are self-
+// contained (formula + assumptions + steps), so it still audits
+// standalone, but its bytes may differ from the one a fresh commit-time
+// solve would have produced. Under a governor trip mid-batch, speculative
+// solves share the budget, so *which* iteration degrades may shift —
+// but degradation stays conservative (an unknown authoritative verdict
+// exits the loop into plain removal, exactly like the serial engine).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/netlist/network.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/timing/path.hpp"
+#include "src/timing/sensitize.hpp"
+
+namespace kms {
+
+class ThreadPool;
+
+/// Observability counters, cumulative over the engine's lifetime.
+struct SpeculateStats {
+  std::size_t batches = 0;  ///< step() calls that dispatched >1 solve
+  std::size_t solves = 0;         ///< speculative (non-committed) checks
+  std::size_t cache_hits = 0;     ///< authoritative verdicts served cached
+  std::size_t cache_insertions = 0;
+  std::size_t cache_invalidated = 0;
+};
+
+class SpeculativeSensitizer {
+ public:
+  /// `k` is the speculation width (1 = no speculation: one path drawn,
+  /// one solve, no cache traffic — the serial engine's exact shape).
+  /// `pool`, if non-null, runs certificate-capture batches
+  /// concurrently; null solves them on the caller (verdict-only batches
+  /// always solve inline on one shared encoding). `want_certs` arms
+  /// proof capture on the workers (pass true iff a proof session will
+  /// consume the committed verdicts). The network must outlive the
+  /// engine and must only be mutated between step() and invalidate().
+  SpeculativeSensitizer(const Network& net, SensitizationMode mode,
+                        std::size_t k, ResourceGovernor* governor,
+                        bool want_certs, ThreadPool* pool);
+
+  /// One iteration's authoritative sensitization answer.
+  struct Outcome {
+    Path path;               ///< the enumeration-first candidate
+    SensitizeResult result;  ///< certificate set iff kUnsat and certs on
+    bool from_cache = false;
+    std::size_t committed_queries = 0;  ///< solver queries this answer cost
+  };
+
+  /// Draw the next path from `en` (always authoritative) plus up to k-1
+  /// speculative candidates from other components, serve the
+  /// authoritative verdict from the cache when its signature matches an
+  /// entry, otherwise solve the batch — speculative results land in the
+  /// cache, the authoritative one is returned. nullopt when the
+  /// enumerator is exhausted. `arrival_seed`, if non-null, seeds every
+  /// solver's viability arrival table (must be bit-identical to
+  /// compute_arrival, as the IncrementalSta contract guarantees).
+  std::optional<Outcome> step(PathEnumerator& en,
+                              const std::vector<double>* arrival_seed);
+
+  /// Drop every cache entry whose component the committed transform
+  /// edited or the sweep took a gate from. Must be called after every
+  /// commit, with the same trace handed to IncrementalSta::apply.
+  void invalidate(const TransformTrace& trace);
+
+  const SpeculateStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Path path;  ///< exact identity — resolves signature collisions
+    sat::Result verdict = sat::Result::kUnknown;
+    std::shared_ptr<proof::DratCertificate> certificate;
+    std::uint32_t comp = 0;  ///< connected component of the path
+  };
+
+  const Entry* lookup(const Path& p) const;
+  void insert(Path path, std::uint32_t comp, const SensitizeResult& r);
+  void solve_one(const Path& p, const std::vector<double>* arrival_seed,
+                 SensitizeResult* out, std::size_t* queries) const;
+  /// Component label of `g`, resolving gates created after construction
+  /// by adopting the label of whatever they are attached to.
+  std::uint32_t comp_of(GateId g);
+  void drop(std::unordered_map<std::uint64_t, Entry>::iterator it);
+
+  const Network& net_;
+  SensitizationMode mode_;
+  std::size_t k_;
+  ResourceGovernor* gov_;
+  bool want_certs_;
+  ThreadPool* pool_;
+  std::unordered_map<std::uint64_t, Entry> cache_;
+  /// Live cache entries per component — the one-verdict-per-component
+  /// throttle that keeps banked verdicts from invalidating each other.
+  std::unordered_map<std::uint32_t, std::size_t> comp_banked_;
+  /// Construction-time component labels (kNoComp for then-dead gates);
+  /// lazily extended for gates created by later commits.
+  std::vector<std::uint32_t> comp_;
+  std::uint32_t comp_count_ = 0;
+  /// Construction-time count of output-bearing components — the only
+  /// ones that can host an IO-path, so the candidate scan's stopping
+  /// bound (comp_count_ keeps growing as commits strand isolated
+  /// gates, which must not keep the scan alive).
+  std::size_t path_comp_count_ = 0;
+  /// Gates already accounted dead, so a sweep's victims are detected
+  /// exactly once.
+  std::vector<bool> dead_seen_;
+  SpeculateStats stats_;
+};
+
+}  // namespace kms

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include <cmath>
+#include <unordered_map>
 
 #include "src/atpg/redundancy.hpp"
 #include "src/gen/adders.hpp"
@@ -78,6 +79,35 @@ Network build_suite_circuit(const SuiteSpec& spec, bool delay_optimized) {
     }
   }
   return net;
+}
+
+Network replicate_blocks(const Network& block, std::size_t copies) {
+  Network out(block.name() + "_x" + std::to_string(copies));
+  for (std::size_t i = 0; i < copies; ++i) {
+    const std::string suffix = "_b" + std::to_string(i);
+    std::unordered_map<std::uint32_t, GateId> map;
+    for (GateId g : block.topo_order()) {
+      const Gate& gt = block.gate(g);
+      if (gt.kind == GateKind::kInput) {
+        map[g.value()] = out.add_input(gt.name + suffix, gt.arrival);
+        continue;
+      }
+      std::vector<GateId> fanins;
+      fanins.reserve(gt.fanins.size());
+      for (ConnId c : gt.fanins)
+        fanins.push_back(map.at(block.conn(c).from.value()));
+      const GateId copy =
+          gt.kind == GateKind::kOutput
+              ? out.add_output(gt.name + suffix, fanins[0])
+              : out.add_gate(gt.kind, fanins, gt.delay, gt.name + suffix);
+      map[g.value()] = copy;
+      // Connection delays are part of the timing model; mirror them.
+      for (std::size_t pin = 0; pin < gt.fanins.size(); ++pin)
+        out.conn(out.gate(copy).fanins[pin]).delay =
+            block.conn(gt.fanins[pin]).delay;
+    }
+  }
+  return out;
 }
 
 }  // namespace kms

@@ -154,6 +154,14 @@ struct FieldTable {
     sz("kms.sta_rebuilds", &k.sta_rebuilds);
     sz("kms.sta_gates_repaired", &k.sta_gates_repaired);
     sz("kms.sta_full_visits", &k.sta_full_visits);
+    sz("kms.sta_enum_reseeds", &k.sta_enum_reseeds);
+    sz("kms.sta_enum_seed_visits", &k.sta_enum_seed_visits);
+    str("kms.loop_exit", &k.loop_exit);
+    sz("kms.spec_batches", &k.spec_batches);
+    sz("kms.spec_solves", &k.spec_solves);
+    sz("kms.spec_cache_hits", &k.spec_cache_hits);
+    sz("kms.spec_cache_insertions", &k.spec_cache_insertions);
+    sz("kms.spec_cache_invalidated", &k.spec_cache_invalidated);
 
     RedundancyRemovalResult& r = k.removal;
     sz("rm.removed", &r.removed);

@@ -15,6 +15,26 @@ double path_length(const Network& net, const Path& p) {
   return len;
 }
 
+std::uint64_t path_signature(const Path& p) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(p.source.value());
+  for (std::size_t i = 0; i < p.gates.size(); ++i) {
+    mix(p.conns[i].value());
+    mix(p.gates[i].value());
+  }
+  return h;
+}
+
+bool same_path(const Path& a, const Path& b) {
+  return a.source == b.source && a.conns == b.conns && a.gates == b.gates;
+}
+
 std::string format_path(const Network& net, const Path& p) {
   auto label = [&net](GateId g) {
     const Gate& gt = net.gate(g);
@@ -37,24 +57,38 @@ std::string format_path(const Network& net, const Path& p) {
 
 PathEnumerator::PathEnumerator(const Network& net) : net_(net) {
   // Longest suffix from each gate's output to any primary output.
-  suffix_ = compute_suffix(net);
+  own_suffix_ = compute_suffix(net);
+  suffix_ = &own_suffix_;
   seed_sources();
 }
 
 PathEnumerator::PathEnumerator(const Network& net,
                                const std::vector<double>& suffix)
-    : net_(net), suffix_(suffix) {
+    : net_(net), suffix_(&suffix) {
+  seed_sources();
+}
+
+void PathEnumerator::reseed() {
+  if (suffix_ == &own_suffix_) {
+    // Self-owned table: nothing maintains it for us, recompute. The
+    // reassignment keeps own_suffix_'s address, so suffix_ stays valid.
+    own_suffix_ = compute_suffix(net_);
+  }
+  nodes_.clear();
+  heap_.clear();
   seed_sources();
 }
 
 void PathEnumerator::seed_sources() {
   // Seed one partial path per primary input that can reach an output.
+  last_seed_visits_ = 0;
   for (GateId pi : net_.inputs()) {
-    if (suffix_[pi.value()] == minus_infinity()) continue;
+    ++last_seed_visits_;
+    if ((*suffix_)[pi.value()] == minus_infinity()) continue;
     const double head = net_.gate(pi).arrival;
     nodes_.push_back(Node{ConnId::invalid(), -1, pi, head});
     heap_.push_back(
-        QueueItem{head + suffix_[pi.value()],
+        QueueItem{head + (*suffix_)[pi.value()],
                   static_cast<std::int32_t>(nodes_.size() - 1)});
   }
   std::make_heap(heap_.begin(), heap_.end());
@@ -66,12 +100,12 @@ void PathEnumerator::expand(std::int32_t node_idx) {
   for (ConnId c : gt.fanouts) {
     const Conn& cn = net_.conn(c);
     if (cn.dead) continue;
-    if (suffix_[cn.to.value()] == minus_infinity() &&
+    if ((*suffix_)[cn.to.value()] == minus_infinity() &&
         net_.gate(cn.to).kind != GateKind::kOutput)
       continue;
     const double head = n.head + cn.delay + net_.gate(cn.to).delay;
     nodes_.push_back(Node{c, node_idx, cn.to, head});
-    heap_.push_back(QueueItem{head + suffix_[cn.to.value()],
+    heap_.push_back(QueueItem{head + (*suffix_)[cn.to.value()],
                               static_cast<std::int32_t>(nodes_.size() - 1)});
     std::push_heap(heap_.begin(), heap_.end());
   }

@@ -15,6 +15,7 @@
 // delay routine and the KMS loop visit "the longest paths" lazily.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,18 @@ struct Path {
 /// Recompute a path's length field from the network (for validation).
 double path_length(const Network& net, const Path& p);
 
+/// FNV-1a over the path's structural identity: the source gate id and
+/// the (conn id, gate id) sequence. GateId/ConnId are tombstoned and
+/// never reused, so equal signatures on the same network name the same
+/// structural path for the whole run — the key of the speculative
+/// verdict cache (src/core/speculate.hpp). Length is deliberately
+/// excluded: it is derived state the ids already determine.
+std::uint64_t path_signature(const Path& p);
+
+/// Exact structural equality (source, conns, gates) — the collision
+/// check behind a signature match.
+bool same_path(const Path& a, const Path& b);
+
 /// Human-readable "a0 -> g3(and) -> ... -> c2" rendering.
 std::string format_path(const Network& net, const Path& p);
 
@@ -42,11 +55,21 @@ class PathEnumerator {
 
   /// Seed the completion bounds from an externally maintained suffix
   /// table (see IncrementalSta::suffix()) instead of recomputing them
-  /// with a full backward pass. The table must equal compute_suffix(net)
-  /// exactly — the incremental engine guarantees this bit-for-bit, so
-  /// enumeration order (including heap tie-breaking) is identical to the
-  /// unseeded constructor's.
+  /// with a full backward pass. The table is held by reference — not
+  /// copied — so a long-lived enumerator rides the incremental engine's
+  /// in-place repairs across reseed() calls; the caller guarantees the
+  /// vector outlives the enumerator. The table must equal
+  /// compute_suffix(net) exactly — the incremental engine guarantees
+  /// this bit-for-bit, so enumeration order (including heap
+  /// tie-breaking) is identical to the unseeded constructor's.
   PathEnumerator(const Network& net, const std::vector<double>& suffix);
+
+  // Not copyable/movable: the unseeded constructor points suffix_ at
+  // the enumerator's own table, which a default copy/move would leave
+  // aimed at the source object. Long-lived consumers hold one in a
+  // std::optional and emplace it.
+  PathEnumerator(const PathEnumerator&) = delete;
+  PathEnumerator& operator=(const PathEnumerator&) = delete;
 
   /// Next path in non-increasing length order; nullopt when exhausted.
   std::optional<Path> next();
@@ -54,6 +77,20 @@ class PathEnumerator {
   /// Upper bound on the length of the next path to be emitted (the
   /// current best frontier rank); -infinity when exhausted.
   double peek_length() const;
+
+  /// Restart enumeration against the network's current state without
+  /// reconstructing the enumerator: discards the frontier (keeping its
+  /// allocations) and re-seeds one partial path per reachable primary
+  /// input. With the table-seeded constructor the caller's repaired
+  /// suffix table is reread in place; with the unseeded constructor the
+  /// owned table is recomputed first. The restarted sequence is
+  /// identical to a freshly constructed enumerator's.
+  void reseed();
+
+  /// Gate visits spent by the most recent (re)seeding pass — the cost a
+  /// persistent enumerator pays per KMS iteration instead of a full
+  /// suffix recompute plus an O(capacity) table copy.
+  std::uint64_t last_seed_visits() const { return last_seed_visits_; }
 
  private:
   struct Node {
@@ -74,9 +111,11 @@ class PathEnumerator {
   void seed_sources();
 
   const Network& net_;
-  std::vector<double> suffix_;  // longest gate-output-to-PO length
+  std::vector<double> own_suffix_;      // engaged by the unseeded ctor
+  const std::vector<double>* suffix_;   // longest gate-output-to-PO length
   std::vector<Node> nodes_;
   std::vector<QueueItem> heap_;
+  std::uint64_t last_seed_visits_ = 0;
 };
 
 /// All IO-paths whose length is within `epsilon` of the maximum.

@@ -13,13 +13,14 @@ namespace kms {
 
 Sensitizer::Sensitizer(const Network& net, SensitizationMode mode,
                        ResourceGovernor* governor, proof::ProofSession* session,
-                       const std::vector<double>* arrival_seed)
+                       const std::vector<double>* arrival_seed, bool capture)
     : net_(net),
       mode_(mode),
       session_(session),
+      capture_(capture),
       arrival_(arrival_seed ? *arrival_seed : compute_arrival(net)) {
   if (governor) solver_.set_governor(governor);
-  if (session_) {
+  if (session_ || capture_) {
     trace_ = std::make_unique<proof::DratTrace>();
     solver_.set_proof(trace_.get());
   }
@@ -92,10 +93,18 @@ SensitizeResult Sensitizer::check(const Path& path) {
   SensitizeResult out;
   out.verdict = solve(assumptions);
   if (out.verdict == sat::Result::kSat) out.witness = enc_->model_inputs();
-  if (out.verdict == sat::Result::kUnsat && session_) {
+  if (out.verdict == sat::Result::kUnsat && (session_ || capture_)) {
     if (auto cert = trace_->last_unsat_certificate()) {
-      out.proof = session_->add_certificate(std::move(*cert));
-      session_->journal.add_path_unsens(format_path(net_, path), out.proof);
+      if (capture_) {
+        // Capture mode: hand the certificate back instead of touching
+        // the (thread-unsafe) session; the committing coordinator
+        // registers and journals it in commit order.
+        out.certificate =
+            std::make_shared<proof::DratCertificate>(std::move(*cert));
+      } else {
+        out.proof = session_->add_certificate(std::move(*cert));
+        session_->journal.add_path_unsens(format_path(net_, path), out.proof);
+      }
     } else {
       // Should be unreachable (a concluded kUnsat always certifies);
       // degrade rather than license a transformation without a proof.

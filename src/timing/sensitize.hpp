@@ -32,6 +32,7 @@ namespace kms {
 namespace proof {
 class ProofSession;
 class DratTrace;
+struct DratCertificate;
 }  // namespace proof
 
 enum class SensitizationMode { kStatic, kViability };
@@ -48,6 +49,15 @@ struct SensitizeResult {
   /// Certificate id backing a kUnsat verdict when a proof session is
   /// attached; -1 otherwise.
   std::int64_t proof = -1;
+  /// In capture mode (see the Sensitizer constructor): the DRAT
+  /// certificate backing a kUnsat verdict, held privately instead of
+  /// being registered with a session. The coordinator that eventually
+  /// commits the verdict registers and journals it then — in commit
+  /// order, so speculative solves never perturb the proof artifacts.
+  /// Certificates are self-contained (formula + assumptions + steps),
+  /// so one captured against an older network state still verifies
+  /// standalone when cited later.
+  std::shared_ptr<proof::DratCertificate> certificate;
 
   bool has_value() const { return witness.has_value(); }
   explicit operator bool() const { return witness.has_value(); }
@@ -65,16 +75,30 @@ struct StaSeed {
   const std::vector<double>* suffix = nullptr;
 };
 
+/// Thread-compatibility: a Sensitizer owns its solver, encoding and
+/// proof trace outright and reads the network const; distinct instances
+/// over the same (un-mutated) network may run concurrently without
+/// synchronization, which is how the speculative KMS loop dispatches
+/// one instance per worker (src/core/speculate.cpp). A single instance
+/// is not thread-safe. The shared ResourceGovernor is thread-safe; a
+/// shared ProofSession is NOT — concurrent users must pass capture mode
+/// instead and serialize into the session on one thread.
 class Sensitizer {
  public:
   /// With a proof session, every kUnsat verdict from check() carries a
   /// DRAT certificate and is journalled as an unsensitizable-path step.
   /// `arrival_seed`, if non-null, supplies the arrival table (used by
   /// viability smoothing) instead of a fresh compute_arrival pass.
+  /// With `capture` set, proofs are recorded but the session (if any)
+  /// is never touched: check() returns the certificate by value in
+  /// SensitizeResult::certificate and journals nothing — the mode
+  /// worker threads must use (mirrors Atpg::set_proof_capture). A
+  /// kUnsat that fails to certify degrades to kUnknown in both modes.
   Sensitizer(const Network& net, SensitizationMode mode,
              ResourceGovernor* governor = nullptr,
              proof::ProofSession* session = nullptr,
-             const std::vector<double>* arrival_seed = nullptr);
+             const std::vector<double>* arrival_seed = nullptr,
+             bool capture = false);
   ~Sensitizer();
 
   /// Decide the condition for `path`: kSat with a witnessing primary
@@ -112,6 +136,7 @@ class Sensitizer {
   SensitizationMode mode_;
   sat::Solver solver_;
   proof::ProofSession* session_ = nullptr;
+  bool capture_ = false;
   std::unique_ptr<proof::DratTrace> trace_;  ///< attached before encoding
   /// Deferred so the proof trace can be attached before the encoding's
   /// clauses reach the solver (the certificate formula must be

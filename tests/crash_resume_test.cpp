@@ -253,6 +253,59 @@ TEST_F(CrashResumeTest, DoubleCrashStillConverges) {
   }
 }
 
+/// Loop-accounting equivalence: a resumed run's incremental-STA and
+/// enumerator-seed counters must equal the uninterrupted run's. Before
+/// the continuous sync, loop-phase checkpoints serialized zeros for the
+/// sta_* fields (they were only folded in at the very end) and a resume
+/// then double-counted the attach-time constructor rebuild on top of
+/// whatever the restored stats carried.
+TEST_F(CrashResumeTest, ResumedStaTotalsEqualUninterrupted) {
+  const std::string source = carry_skip_source();
+  dir_ = temp_dir("crash_resume_sta");
+  fs::remove_all(dir_);
+
+  kill_points_configure(KillMode::kCount);
+  const RunResult ref = run_fresh(dir_, source, 1, 1);
+  const std::uint64_t total = kill_points_seen();
+  kill_points_configure(KillMode::kOff);
+  ASSERT_FALSE(ref.crashed);
+  ASSERT_TRUE(ref.stats.sta_incremental);
+  ASSERT_GT(ref.stats.sta_applies, 0u);
+  ASSERT_GT(ref.stats.sta_enum_reseeds, 0u);
+
+  std::size_t compared = 0;
+  for (const std::uint64_t k :
+       {total / 4, total / 3, total / 2, (2 * total) / 3}) {
+    if (k == 0) continue;
+    fs::remove_all(dir_);
+    kill_points_configure(KillMode::kThrow, k);
+    ASSERT_TRUE(run_fresh(dir_, source, 1, 1).crashed)
+        << "kill point " << k << " not reached";
+    kill_points_configure(KillMode::kOff);
+    RunResult resumed;
+    try {
+      resumed = run_resume(dir_, 1);
+    } catch (const std::runtime_error&) {
+      continue;  // crash predated the first committed record
+    }
+    ASSERT_FALSE(resumed.crashed);
+    EXPECT_EQ(resumed.output, ref.output) << "kill point " << k;
+    EXPECT_EQ(resumed.stats.sta_applies, ref.stats.sta_applies) << k;
+    EXPECT_EQ(resumed.stats.sta_rebuilds, ref.stats.sta_rebuilds) << k;
+    EXPECT_EQ(resumed.stats.sta_gates_repaired, ref.stats.sta_gates_repaired)
+        << k;
+    EXPECT_EQ(resumed.stats.sta_full_visits, ref.stats.sta_full_visits) << k;
+    EXPECT_EQ(resumed.stats.sta_enum_reseeds, ref.stats.sta_enum_reseeds)
+        << k;
+    EXPECT_EQ(resumed.stats.sta_enum_seed_visits,
+              ref.stats.sta_enum_seed_visits)
+        << k;
+    EXPECT_EQ(resumed.stats.iterations, ref.stats.iterations) << k;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u) << "no kill point produced a resumable session";
+}
+
 /// Resume must reject a session whose source file was swapped out.
 TEST_F(CrashResumeTest, RejectsTamperedSource) {
   const std::string source = carry_skip_source();

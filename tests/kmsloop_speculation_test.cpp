@@ -1,0 +1,272 @@
+// Speculative parallel path sensitization (src/core/speculate.hpp):
+// the determinism suite. End states, journals and proof artifacts must
+// be byte-identical with speculation on or off at any width and any
+// worker count; a governor trip mid-batch must degrade exactly as
+// conservatively as the serial engine; speculative solves must never
+// journal; and the real-binary pipeline (kmscli --speculate-k,
+// kmsproof) must produce auditable artifacts whose journal bytes match
+// the serial run's.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/governor.hpp"
+#include "src/check/checker.hpp"
+#include "src/cnf/encoder.hpp"
+#include "src/core/kms.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/suite.hpp"
+#include "src/netlist/blif.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/proof/journal.hpp"
+#include "src/proof/verify.hpp"
+#include "src/sim/simulator.hpp"
+
+#ifndef KMSCLI_PATH
+#error "KMSCLI_PATH must be defined by the build"
+#endif
+#ifndef KMSPROOF_PATH
+#error "KMSPROOF_PATH must be defined by the build"
+#endif
+
+namespace kms {
+namespace {
+
+bool equivalent(const Network& a, const Network& b) {
+  if (a.inputs().size() <= 14) return exhaustive_equiv(a, b).equivalent;
+  return sat_equivalent(a, b);
+}
+
+/// One full KMS run; returns (output blif, journal text, stats, certs).
+struct RunOutcome {
+  std::string blif;
+  std::string journal;
+  KmsStats stats;
+  std::size_t certificates = 0;
+};
+
+RunOutcome run_kms(Network net, std::size_t speculate_k, unsigned jobs,
+                   ResourceGovernor* gov = nullptr) {
+  proof::ProofSession session;
+  session.journal.set_model(net.name());
+  session.journal.set_input_digest(proof::digest_bytes(write_blif_string(net)));
+  KmsOptions opts;
+  opts.speculate_k = speculate_k;
+  opts.context.jobs = jobs;
+  opts.context.session = &session;
+  opts.context.governor = gov;
+  RunOutcome out;
+  out.stats = kms_make_irredundant(net, opts);
+  out.blif = write_blif_string(net);
+  session.journal.set_output_digest(proof::digest_bytes(out.blif));
+  out.journal = session.journal.to_text();
+  out.certificates = session.certificates().size();
+  return out;
+}
+
+// The acceptance property: width 1/4/16 crossed with jobs 1/4 — same
+// final netlist bytes, same journal bytes, same certificate count, same
+// delay doubles, and never more *committed* queries than the serial
+// engine (cache hits replace solves). The corpus spans both regimes:
+// single-component adders (the candidate filter disables speculation)
+// and a replicated multi-block datapath (batches and cache hits fire).
+TEST(KmsloopSpeculationTest, ByteIdenticalAcrossWidthsAndJobs) {
+  for (Network seed_net : {carry_skip_adder(4, 2), carry_skip_adder(6, 3),
+                           replicate_blocks(carry_skip_adder(4, 2), 3)}) {
+    decompose_to_simple(seed_net);
+    const RunOutcome ref = run_kms(seed_net, /*speculate_k=*/1, /*jobs=*/1);
+    EXPECT_EQ(ref.stats.spec_batches, 0u);  // width 1 never batches
+    for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      for (unsigned jobs : {1u, 4u}) {
+        const RunOutcome spec = run_kms(seed_net, k, jobs);
+        EXPECT_EQ(spec.blif, ref.blif)
+            << seed_net.name() << " k=" << k << " jobs=" << jobs;
+        EXPECT_EQ(spec.journal, ref.journal)
+            << seed_net.name() << " k=" << k << " jobs=" << jobs;
+        EXPECT_EQ(spec.certificates, ref.certificates);
+        EXPECT_EQ(spec.stats.iterations, ref.stats.iterations);
+        EXPECT_EQ(spec.stats.loop_exit, ref.stats.loop_exit);
+        EXPECT_EQ(spec.stats.final_topo_delay, ref.stats.final_topo_delay);
+        EXPECT_EQ(spec.stats.final_computed_delay,
+                  ref.stats.final_computed_delay);
+        EXPECT_LE(spec.stats.sensitization_queries,
+                  ref.stats.sensitization_queries)
+            << "speculation committed more queries than the serial engine";
+      }
+    }
+  }
+}
+
+// Speculative work happens and is visible in the stats — and because
+// the journals above are byte-identical, those extra solves provably
+// never journalled. A multi-block circuit is required: the candidate
+// filter only speculates across independent connected components, so on
+// a single-cone adder spec_batches is (correctly) zero.
+TEST(KmsloopSpeculationTest, SpeculativeSolvesAreAccountedNotJournalled) {
+  Network net = replicate_blocks(carry_skip_adder(4, 2), 4);
+  decompose_to_simple(net);
+  const RunOutcome ref = run_kms(net, 1, 1);
+  const RunOutcome spec = run_kms(net, 16, 4);
+  ASSERT_GT(spec.stats.iterations, 1u);
+  EXPECT_GT(spec.stats.spec_batches, 0u);
+  EXPECT_GT(spec.stats.spec_solves, 0u);
+  EXPECT_GT(spec.stats.spec_cache_hits, 0u)
+      << "banked cross-component verdicts should be spent on later "
+         "iterations of a replicated datapath";
+  EXPECT_LE(spec.stats.spec_cache_hits + spec.stats.spec_cache_invalidated,
+            spec.stats.spec_cache_insertions)
+      << "a verdict can only be spent or invalidated after being banked";
+  EXPECT_EQ(spec.journal, ref.journal);
+}
+
+// A governor that trips before the loop starts: both engines exit with
+// loop_exit == "governor" and identical output bytes.
+TEST(KmsloopSpeculationTest, PreTrippedGovernorExitsIdentically) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  RunOutcome runs[2];
+  for (int i = 0; i < 2; ++i) {
+    ResourceGovernor gov;
+    gov.request_interrupt();
+    runs[i] = run_kms(net, i == 0 ? 1 : 8, i == 0 ? 1 : 4, &gov);
+    EXPECT_EQ(runs[i].stats.loop_exit, "governor");
+    EXPECT_EQ(runs[i].stats.iterations, 0u);
+    EXPECT_TRUE(runs[i].stats.degraded);
+  }
+  EXPECT_EQ(runs[0].blif, runs[1].blif);
+  EXPECT_EQ(runs[0].journal, runs[1].journal);
+}
+
+// A governor tripping mid-batch (speculative solves share the budget):
+// degradation must stay exactly as conservative as serial — checker
+// clean, functionally equivalent, degraded flagged.
+TEST(KmsloopSpeculationTest, MidBatchTripDegradesConservatively) {
+  Network net = replicate_blocks(carry_skip_adder(4, 2), 3);
+  const Network original = net;
+  ResourceGovernor gov;
+  gov.set_injector(
+      FaultInjector::random(/*seed=*/7, /*abort_probability=*/0.0,
+                            /*cancel_after_queries=*/5));
+  KmsOptions opts;
+  opts.speculate_k = 8;
+  opts.context.jobs = 4;
+  opts.context.governor = &gov;
+  const KmsStats stats = kms_make_irredundant(net, opts);
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(NetworkChecker().run(net).error_count(), 0u);
+  EXPECT_TRUE(equivalent(original, net));
+}
+
+// An aborted authoritative verdict (every solve forced kUnknown) exits
+// the loop with the new reason recorded and `degraded` set — the
+// satellite-1 fix: before loop_exit existed this was indistinguishable
+// from the natural kSat exit.
+TEST(KmsloopSpeculationTest, UnknownExitIsRecordedAndDegraded) {
+  Network net = carry_skip_adder(4, 2);
+  decompose_to_simple(net);
+  ResourceGovernor gov;
+  gov.set_injector(
+      FaultInjector::random(/*seed=*/1, /*abort_probability=*/1.0));
+  KmsOptions opts;
+  opts.context.governor = &gov;
+  opts.remove_remaining = false;
+  const KmsStats stats = kms_make_irredundant(net, opts);
+  EXPECT_EQ(stats.loop_exit, "unknown");
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(KmsloopSpeculationTest, LoopExitReasonsCoverTheNaturalCases) {
+  {
+    Network net = carry_skip_adder(4, 2);
+    const KmsStats stats = kms_make_irredundant(net);
+    EXPECT_TRUE(stats.loop_exit == "sat" || stats.loop_exit == "no-paths")
+        << stats.loop_exit;
+    EXPECT_FALSE(stats.degraded);
+  }
+  {
+    Network net = carry_skip_adder(4, 2);
+    KmsOptions opts;
+    opts.max_iterations = 0;
+    const KmsStats stats = kms_make_irredundant(net, opts);
+    EXPECT_EQ(stats.loop_exit, "iteration-cap");
+    EXPECT_TRUE(stats.iteration_cap_hit);
+  }
+}
+
+// ---- Real-binary pipeline ------------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name + "." +
+         std::to_string(getpid());
+}
+
+int exit_code(const std::string& cmd) {
+  const int raw = std::system((cmd + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_cert_files(const std::string& dir) {
+  std::size_t n = 0;
+  while (true) {
+    std::ifstream in(dir + "/cert_" + std::to_string(n) + ".drat");
+    if (!in) return n;
+    ++n;
+  }
+}
+
+// kmscli irr --speculate-k 16 --jobs 4 --certify --emit-proof: the
+// artifact directory passes the independent kmsproof audit, and its
+// journal bytes and certificate count equal the serial run's. The
+// two-block circuit makes certificates flow through the speculation
+// cache, so the audit also covers cache-spent certificates.
+TEST(KmsloopSpeculationTest, CliProofArtifactsAuditAndMatchSerial) {
+  Network net = replicate_blocks(carry_skip_adder(3, 3), 2);
+  decompose_to_simple(net);
+  const std::string in_path = temp_path("kmsloop_in.blif");
+  const std::string out_serial = temp_path("kmsloop_out_serial.blif");
+  const std::string out_spec = temp_path("kmsloop_out_spec.blif");
+  const std::string dir_serial = temp_path("kmsloop_proof_serial");
+  const std::string dir_spec = temp_path("kmsloop_proof_spec");
+  write_blif_file(net, in_path);
+  std::system(("rm -rf " + dir_serial + " " + dir_spec).c_str());
+
+  ASSERT_EQ(exit_code(std::string(KMSCLI_PATH) + " irr " + in_path + " -o " +
+                      out_serial + " --certify --emit-proof " + dir_serial),
+            0);
+  ASSERT_EQ(exit_code(std::string(KMSCLI_PATH) + " irr " + in_path + " -o " +
+                      out_spec + " --speculate-k 16 --jobs 4 --certify " +
+                      "--emit-proof " + dir_spec),
+            0);
+  EXPECT_EQ(exit_code(std::string(KMSPROOF_PATH) + " " + dir_spec), 0);
+
+  EXPECT_EQ(slurp(out_spec), slurp(out_serial));
+  const std::string serial_journal = slurp(dir_serial + "/journal.txt");
+  ASSERT_FALSE(serial_journal.empty());
+  EXPECT_EQ(slurp(dir_spec + "/journal.txt"), serial_journal);
+  EXPECT_EQ(count_cert_files(dir_spec), count_cert_files(dir_serial));
+
+  std::remove(in_path.c_str());
+  std::remove(out_serial.c_str());
+  std::remove(out_spec.c_str());
+  std::system(("rm -rf " + dir_serial + " " + dir_spec).c_str());
+}
+
+}  // namespace
+}  // namespace kms

@@ -43,13 +43,18 @@ done
 # ThreadSanitizer stage: rebuild under -fsanitize=thread and run the
 # parallel-labelled tests — the work-stealing removal engine's ticket
 # queue, commit protocol, sharded cache, and its jobs={1,2,4,8}
-# determinism suite. TSan and ASan cannot share a build, hence the
+# determinism suite — plus the kmsloop label: the speculative
+# sensitization engine's byte-identity suite crossing speculation
+# widths with worker counts, whose certificate-capture batches fan out
+# over the same pool. TSan and ASan cannot share a build, hence the
 # separate preset/tree. Any data race in the worker/coordinator
 # handshake fails CI here.
 echo "== ThreadSanitizer: parallel-labelled tests (tsan preset) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -L parallel --output-on-failure
+echo "== ThreadSanitizer: kmsloop-labelled tests (tsan preset) =="
+ctest --preset tsan -L kmsloop --output-on-failure
 
 # Crash-safety stage: the `crash` label covers the durability layer —
 # WAL framing with torn-tail/bit-flip fuzzing, checkpoint serialization
@@ -98,6 +103,15 @@ python3 tools/validate_bench_timing.py "$CERT_DIR/BENCH_timing.json"
 echo "== bench smoke: bench_atpg --json (checked preset) =="
 "$BUILD_DIR/bench/bench_atpg" --json "$CERT_DIR/BENCH_atpg.json" --quick
 python3 tools/validate_bench_atpg.py "$CERT_DIR/BENCH_atpg.json"
+
+# KMS-loop speculation smoke: serial vs speculative engine on the quick
+# circuit, then validate the kms-bench-kmsloop-v1 JSON. The binary
+# itself exits 2 on an end-state digest mismatch or on the speculative
+# engine committing more SAT queries than the serial one; the validator
+# re-checks both contracts from the emitted file.
+echo "== bench smoke: bench_kmsloop --json (checked preset) =="
+"$BUILD_DIR/bench/bench_kmsloop" --json "$CERT_DIR/BENCH_kmsloop.json" --quick
+python3 tools/validate_bench_kmsloop.py "$CERT_DIR/BENCH_kmsloop.json"
 
 # clang-tidy stage: bug-prone and performance checks over the analysis
 # subsystem and the files that consume it (config in .clang-tidy; the

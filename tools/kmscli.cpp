@@ -101,6 +101,7 @@ struct Args {
   bool jobs_set = false;  // --jobs given (a resume otherwise reuses meta)
   bool sta_full = false;      // --sta full: per-iteration full recompute
   bool audit_timing = false;  // --audit-timing: NL024-NL028 per repair
+  std::size_t speculate_k = 1;  // loop speculation width (bit-identical)
   ResourceGovernor* governor = nullptr;  // installed by main()
 };
 
@@ -114,8 +115,8 @@ int usage() {
                "[--jobs <n>]\n"
                "              [--certify] [--emit-proof <dir>] "
                "[--checkpoint-every <n>]   (irr only)\n"
-               "              [--sta full|incremental] [--audit-timing]"
-               "      (irr only)\n"
+               "              [--sta full|incremental] [--audit-timing] "
+               "[--speculate-k <n>]   (irr only)\n"
                "       kmscli irr --resume <dir> [-o out.blif] [--certify] "
                "[--jobs <n>] ...\n"
                "--jobs: removal-phase worker threads (default 1; 0 = one "
@@ -129,6 +130,10 @@ int usage() {
                "against a full recompute\n"
                "               every iteration (rules NL024-NL028; exit 2 on "
                "divergence)\n"
+               "--speculate-k: loop sensitization speculation width (default "
+               "1 = serial);\n"
+               "               end state/proof bit-identical at any width and "
+               "--jobs count\n"
                "exit codes: 0 ok, 1 usage, 2 error, 3 degraded "
                "(limit/SIGINT/SIGTERM; output still valid)\n");
   return 1;
@@ -193,6 +198,11 @@ bool parse_args(int argc, char** argv, Args* args) {
       }
     } else if (a == "--audit-timing") {
       args->audit_timing = true;
+    } else if (a == "--speculate-k" && i + 1 < argc) {
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 4096) return false;
+      args->speculate_k = static_cast<std::size_t>(n);
     } else if (a == "--jobs" && i + 1 < argc) {
       char* end = nullptr;
       const long long n = std::strtoll(argv[++i], &end, 10);
@@ -477,6 +487,10 @@ int cmd_irr(const Args& args) {
   // the session's recorded configuration.
   opts.incremental_sta = !args.sta_full;
   opts.audit_timing = args.audit_timing;
+  // Like --jobs and --sta, speculation width never changes the result
+  // bits, so it is free at resume time too (set after apply_meta — it is
+  // not part of the session's recorded configuration).
+  opts.speculate_k = args.speculate_k;
   if (dur) opts.context.sink = &*dur;
   const KmsStats stats = kms_make_irredundant(model.comb, opts);
   check_stage(args, model.comb, "kms_make_irredundant");
@@ -531,14 +545,23 @@ int cmd_irr(const Args& args) {
                  stats.sta_applies, stats.sta_rebuilds,
                  stats.sta_gates_repaired, stats.sta_full_visits,
                  args.audit_timing ? ", audited" : "");
+  if (stats.spec_batches > 0 || stats.spec_cache_hits > 0)
+    std::fprintf(stderr,
+                 "speculation: %zu batches, %zu speculative solves, "
+                 "%zu cache hits (%zu banked, %zu invalidated)\n",
+                 stats.spec_batches, stats.spec_solves, stats.spec_cache_hits,
+                 stats.spec_cache_insertions, stats.spec_cache_invalidated);
   if (stats.degraded)
     std::fprintf(stderr,
                  "partial result (equivalent, conservatively degraded): "
-                 "%zu unknown queries%s%s%s\n",
+                 "%zu unknown queries%s%s%s%s\n",
                  stats.unknown_queries,
                  stats.deadline_hit ? ", deadline hit" : "",
                  stats.budget_exhausted ? ", budget exhausted" : "",
-                 stats.interrupted ? ", interrupted" : "");
+                 stats.interrupted ? ", interrupted" : "",
+                 stats.loop_exit == "unknown"
+                     ? " (loop exited on an undecided path verdict)"
+                     : "");
   if (args.output.empty()) {
     write_blif_sequential(model.comb, model.latch_init.size(),
                           model.latch_init, std::cout);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_kmsloop.json file against the kms-bench-kmsloop-v1 schema.
+
+Usage: validate_bench_kmsloop.py <path>
+
+Checks (stdlib only, no dependencies):
+  * the file parses as JSON and carries schema "kms-bench-kmsloop-v1";
+  * "circuits" is a non-empty list with all required fields of the
+    right type on every row, and the suite-level wall-clock and
+    CPU-time columns (serial_seconds / speculative_seconds /
+    serial_cpu_seconds / speculative_cpu_seconds) are present and
+    consistent with the per-row sums;
+  * every digest_match is true — the speculative engine's end state was
+    bit-identical to the serial engine's on every circuit;
+  * per circuit, the speculative run committed NO MORE queries than the
+    serial run (cache hits replace solves; speculative solves are
+    accounted separately and never journal);
+  * at least one row ran the loop (iterations >= 1), so the comparison
+    is not vacuous.
+
+Wall-clock is reported, not gated: CI machines are too noisy for a
+hard speedup assertion, and the correctness contracts above are what
+the engine actually promises.
+
+Exit code 0 on success; 1 with a diagnostic on any violation (including
+an empty or malformed file — the CI bench-smoke stage depends on that).
+"""
+import json
+import sys
+
+INT_FIELDS = [
+    "gates", "iterations", "serial_committed_queries",
+    "speculative_committed_queries", "speculative_solves", "cache_hits",
+]
+NUM_FIELDS = [
+    "serial_seconds", "speculative_seconds",
+    "serial_cpu_seconds", "speculative_cpu_seconds",
+]
+
+
+def fail(msg):
+    print(f"validate_bench_kmsloop: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench_kmsloop.py <path>")
+    try:
+        with open(sys.argv[1]) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {sys.argv[1]}: {e}")
+
+    if data.get("schema") != "kms-bench-kmsloop-v1":
+        fail(f"bad schema: {data.get('schema')!r}")
+    if not isinstance(data.get("reps"), int) or data["reps"] < 1:
+        fail("suite field 'reps' is not a positive integer")
+    for f in NUM_FIELDS:
+        if not isinstance(data.get(f), (int, float)) or data[f] < 0:
+            fail(f"suite field '{f}' is not a non-negative number")
+    circuits = data.get("circuits")
+    if not isinstance(circuits, list) or not circuits:
+        fail("'circuits' is not a non-empty list")
+
+    sums = {f: 0.0 for f in NUM_FIELDS}
+    any_iterations = False
+    for row in circuits:
+        if not isinstance(row, dict):
+            fail("circuit row is not an object")
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            fail("circuit row missing 'name'")
+        for f in INT_FIELDS:
+            if not isinstance(row.get(f), int) or row[f] < 0:
+                fail(f"circuit '{name}': field '{f}' is not a "
+                     "non-negative integer")
+        for f in NUM_FIELDS:
+            if not isinstance(row.get(f), (int, float)) or row[f] < 0:
+                fail(f"circuit '{name}': field '{f}' is not a "
+                     "non-negative number")
+        if row.get("digest_match") is not True:
+            fail(f"circuit '{name}': digest_match is not true — the "
+                 "engines produced different end states")
+        serial = row["serial_committed_queries"]
+        spec = row["speculative_committed_queries"]
+        if spec > serial:
+            fail(f"circuit '{name}': speculation committed {spec} queries, "
+                 f"more than the serial engine's {serial}")
+        for f in NUM_FIELDS:
+            sums[f] += row[f]
+        any_iterations |= row["iterations"] >= 1
+
+    if not any_iterations:
+        fail("no circuit ran any loop iteration — the comparison is "
+             "vacuous")
+    for f in NUM_FIELDS:
+        if abs(data[f] - sums[f]) > 1e-3:
+            fail(f"suite {f} {data[f]} inconsistent with per-row sum "
+                 f"{sums[f]:.6f}")
+
+    print(f"validate_bench_kmsloop: OK ({len(circuits)} circuits, "
+          f"wall serial {sums['serial_seconds']:.3f}s vs speculative "
+          f"{sums['speculative_seconds']:.3f}s, CPU serial "
+          f"{sums['serial_cpu_seconds']:.3f}s vs speculative "
+          f"{sums['speculative_cpu_seconds']:.3f}s)")
+
+
+if __name__ == "__main__":
+    main()
