@@ -555,7 +555,7 @@ void apply_redundancy_removal(Network& net, const Fault& fault,
 
 RedundancyRemovalResult remove_redundancies(
     Network& net, const RedundancyRemovalOptions& opts) {
-  const RunContext ctx = opts.run_context();
+  const RunContext ctx = opts.context;
   const unsigned jobs = ctx.effective_jobs();
   RedundancyRemovalResult result =
       jobs > 1 ? remove_parallel(net, opts, ctx, jobs)

@@ -110,24 +110,10 @@ struct RedundancyRemovalOptions {
   /// fault set is bit-identical to the sequential engine's.
   RunContext context;
 
-  /// Deprecated: set context.governor instead. Honoured only when
-  /// context.governor is null (see run_context()).
-  ResourceGovernor* governor = nullptr;
-  /// Deprecated: set context.session instead. Honoured only when
-  /// context.session is null.
-  proof::ProofSession* session = nullptr;
-
   /// Resume a crashed run from a committed pass boundary (the network
   /// must already be replayed to that state; see src/recover/). Null
   /// (the default) starts from scratch.
   const RemovalResume* resume = nullptr;
-
-  /// The effective context: `context` with null governor/session filled
-  /// in from the deprecated raw fields. Every consumer resolves through
-  /// this, so both spellings keep working for one release.
-  RunContext run_context() const {
-    return context.with_legacy(governor, session);
-  }
 };
 
 /// Pass-local counters owned by one classification worker. Workers

@@ -18,10 +18,6 @@
 //   KmsOptions opts;
 //   opts.context = ctx;
 //
-// The old raw-pointer fields on the option structs survive one release
-// as deprecated forwarding members (resolution rules documented at each
-// struct); new code should set `context` only.
-//
 // Header-only on purpose: lower layers (src/atpg/) accept a
 // `const RunContext&` without linking against kms_core.
 #pragma once
@@ -113,15 +109,6 @@ struct RunContext {
     return hw == 0 ? 1 : hw;
   }
 
-  /// Convenience used by option-struct resolution: keep `this` unless
-  /// the legacy raw fields carry something the context does not.
-  RunContext with_legacy(ResourceGovernor* legacy_governor,
-                         proof::ProofSession* legacy_session) const {
-    RunContext out = *this;
-    if (out.governor == nullptr) out.governor = legacy_governor;
-    if (out.session == nullptr) out.session = legacy_session;
-    return out;
-  }
 };
 
 }  // namespace kms

@@ -91,7 +91,7 @@ void assert_first_edge_constant(Network& net, const Path& pp,
 
 KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
   KmsStats stats;
-  const RunContext ctx = opts.run_context();
+  const RunContext ctx = opts.context;
   ResourceGovernor* const gov = ctx.governor;
   // Diff the governor's counters so a reused governor (one bounding a
   // whole CLI run) attributes only this call's work to these stats.
@@ -389,8 +389,6 @@ KmsStats kms_make_irredundant(Network& net, const KmsOptions& opts) {
     // whole call (the loop phases above are sequential by design — the
     // transform steps are a strict dependency chain).
     removal.context = ctx;
-    removal.governor = nullptr;
-    removal.session = nullptr;
     RemovalResume rr;
     if (res != nullptr && res->phase == "removal" && res->cursor > 0) {
       rr.base = res->stats.removal;

@@ -98,30 +98,10 @@ struct KmsOptions {
   ///    this so one knob configures the whole run.
   RunContext context;
 
-  /// Deprecated: set context.check_invariants instead. ORed with it for
-  /// one release.
-  bool check_invariants = false;
-
-  /// Deprecated: set context.governor instead. Honoured only when
-  /// context.governor is null.
-  ResourceGovernor* governor = nullptr;
-
-  /// Deprecated: set context.session instead. Honoured only when
-  /// context.session is null.
-  proof::ProofSession* session = nullptr;
-
   /// Resume a crashed run from a restored checkpoint (the network must
   /// already be replayed to that state; see src/recover/session.hpp).
   /// Null (the default) runs from scratch.
   const KmsResumeState* resume = nullptr;
-
-  /// The effective context: `context` with the deprecated raw fields
-  /// folded in. Every consumer resolves through this.
-  RunContext run_context() const {
-    RunContext ctx = context.with_legacy(governor, session);
-    ctx.check_invariants = ctx.check_invariants || check_invariants;
-    return ctx;
-  }
 };
 
 struct KmsStats {

@@ -1,0 +1,58 @@
+#include "src/serve/cache.hpp"
+
+namespace kms::serve {
+
+std::optional<JobReport> ReportCache::lookup(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++lookups_;
+  const auto it = by_key_.find(fingerprint);
+  if (it == by_key_.end()) return std::nullopt;
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  JobReport rep = it->second->second;
+  rep.cache_hit = true;
+  return rep;
+}
+
+bool ReportCache::cacheable(const JobSpec& spec, const JobReport& report) {
+  if (report.exit_code != 0) return false;
+  if (report.cache_hit) return false;
+  // Wall-clock limits make the outcome load-dependent; an interrupt or
+  // degradation means this run is not THE result of the spec.
+  if (spec.time_limit > 0) return false;
+  if (report.degraded || report.interrupted) return false;
+  // A resume consumes on-disk session state that no longer exists
+  // afterwards; the fingerprint cannot capture it.
+  if (!spec.resume.empty()) return false;
+  return true;
+}
+
+void ReportCache::insert(std::uint64_t fingerprint, const JobSpec& spec,
+                         const JobReport& report) {
+  if (max_entries_ == 0 || !cacheable(spec, report)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_key_.count(fingerprint) != 0) return;
+  lru_.emplace_front(fingerprint, report);
+  by_key_[fingerprint] = lru_.begin();
+  if (lru_.size() > max_entries_) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ReportCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ReportCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ReportCache::lookups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookups_;
+}
+
+}  // namespace kms::serve

@@ -1,0 +1,63 @@
+// Digest-keyed JobReport cache.
+//
+// The daemon sees the same netlists again and again — CI loops, a
+// designer iterating on one block — and a KMS run is deterministic in
+// (payload bytes, result-affecting options): that pair IS the result.
+// So the cache key is job_fingerprint(): FNV-1a over the canonical spec
+// JSON with the payload replaced by its own FNV-1a digest. The proof
+// journal already computes the payload digest for its artifact
+// binding; re-checking a repeatedly-seen network this way costs a hash
+// instead of a SAT campaign (cf. Teslenko–Dubrova's motivation for
+// cheap re-checks in PAPERS.md).
+//
+// Only deterministic, completed jobs are stored: a report produced
+// under a wall-clock limit or an interrupt depends on machine load, so
+// verdicts "error"/"rejected" and any time-limited or interrupted run
+// are never cached. Eviction is LRU under a fixed entry cap; all
+// methods are thread-safe (one mutex — lookups are a hash map probe,
+// contention is noise next to the jobs themselves).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "src/serve/job.hpp"
+
+namespace kms::serve {
+
+class ReportCache {
+ public:
+  explicit ReportCache(std::size_t max_entries = 256)
+      : max_entries_(max_entries) {}
+
+  /// A hit marks the entry most-recently-used and returns a copy with
+  /// cache_hit set.
+  std::optional<JobReport> lookup(std::uint64_t fingerprint);
+
+  /// Store `report` if this (spec, report) pair is cacheable; no-op
+  /// otherwise. Never overwrites a live entry (first result wins — they
+  /// are byte-identical by determinism anyway).
+  void insert(std::uint64_t fingerprint, const JobSpec& spec,
+              const JobReport& report);
+
+  /// Would insert() keep it? Exposed for tests and admission logic.
+  static bool cacheable(const JobSpec& spec, const JobReport& report);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t lookups() const;
+
+ private:
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  /// LRU order, most recent first; the map points into the list.
+  std::list<std::pair<std::uint64_t, JobReport>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> by_key_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace kms::serve

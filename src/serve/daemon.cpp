@@ -1,0 +1,400 @@
+#include "src/serve/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "src/base/parallel.hpp"
+#include "src/proof/journal.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/runner.hpp"
+
+namespace kms::serve {
+namespace {
+
+/// Read a whole file's bytes; empty optional when unreadable. Used only
+/// to fingerprint path-payload jobs for the cache — the runner does its
+/// own (error-reporting) read.
+bool slurp(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::string event_json(const char* event, std::uint64_t id) {
+  std::string out = "{\"event\":";
+  json_append_quoted(&out, event);
+  out += ",\"id\":" + std::to_string(id) + "}";
+  return out;
+}
+
+std::string event_json_detail(const char* event, std::uint64_t id,
+                              const char* key, const std::string& detail) {
+  std::string out = "{\"event\":";
+  json_append_quoted(&out, event);
+  out += ",\"id\":" + std::to_string(id) + ",";
+  json_append_quoted(&out, key);
+  out.push_back(':');
+  json_append_quoted(&out, detail);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+/// One client connection. Workers and the reader thread both write
+/// events; the mutex serializes lines so NDJSON framing can never tear.
+struct Daemon::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::mutex state_mutex;
+  std::condition_variable idle_cv;
+  std::size_t outstanding = 0;  ///< accepted, not yet answered
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // client gone; the job still ran, nothing to unwind
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void begin_job() {
+    std::lock_guard<std::mutex> lock(state_mutex);
+    ++outstanding;
+  }
+
+  void end_job() {
+    std::lock_guard<std::mutex> lock(state_mutex);
+    --outstanding;
+    if (outstanding == 0) idle_cv.notify_all();
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(state_mutex);
+    idle_cv.wait(lock, [this] { return outstanding == 0; });
+  }
+};
+
+Daemon::Daemon(DaemonOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_entries) {}
+
+Daemon::~Daemon() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+}
+
+void Daemon::bind() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("socket path too long: " + opts_.socket_path);
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  ::unlink(opts_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw std::runtime_error("bind " + opts_.socket_path + ": " +
+                             std::strerror(errno));
+  if (::listen(listen_fd_, 64) < 0)
+    throw std::runtime_error(std::string("listen: ") + std::strerror(errno));
+
+  int pipefd[2];
+  if (::pipe(pipefd) < 0)
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+}
+
+void Daemon::request_drain() {
+  draining_.store(true, std::memory_order_seq_cst);
+  if (wake_wr_ >= 0) {
+    const char byte = 'q';
+    // Best-effort, async-signal-safe wake; a full pipe already woke us.
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+  }
+}
+
+void Daemon::serve() {
+  std::thread acceptor([this] { accept_loop(); });
+
+  // The job executor: every pool lane loops popping the FIFO. run()
+  // returns when the queue is closed and drained, caller lane included.
+  ThreadPool pool(resolve_jobs(opts_.workers));
+  pool.run([this](unsigned) { worker_loop(); });
+
+  acceptor.join();
+  for (std::thread& t : conn_threads_) t.join();
+}
+
+void Daemon::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (draining_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(conn);
+      conn_threads_.emplace_back(
+          [this, conn] { connection_loop(conn); });
+    }
+  }
+
+  // Drain: no new connections or admissions. Unblock every reader so
+  // connection threads wind down, then reject the queued backlog and
+  // interrupt the running jobs; the workers do the rest.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& weak : conns_)
+      if (auto conn = weak.lock()) {
+        conn->send_line("{\"event\":\"draining\"}");
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+  }
+  for (QueuedJob& job : queue_take_all()) {
+    rejected_.fetch_add(1);
+    job.conn->send_line(
+        event_json_detail("rejected", job.id, "reason", "daemon draining"));
+    job.conn->end_job();
+  }
+  queue_close();
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    for (ResourceGovernor* gov : active_governors_) gov->request_interrupt();
+  }
+}
+
+void Daemon::connection_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  std::uint64_t next_id = 0;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) handle_line(conn, ++next_id, line);
+    }
+    buffer.erase(0, start);
+  }
+  // All submissions answered before the socket closes: a client that
+  // half-closes its write side still gets every pending report.
+  conn->wait_idle();
+}
+
+void Daemon::handle_line(const std::shared_ptr<Connection>& conn,
+                         std::uint64_t id, const std::string& line) {
+  JobSpec spec;
+  try {
+    spec = parse_job_spec(line);
+  } catch (const JobError& e) {
+    rejected_.fetch_add(1);
+    conn->send_line(event_json_detail("rejected", id, "reason", e.what()));
+    return;
+  }
+  const std::string problem = spec.validate();
+  if (!problem.empty()) {
+    rejected_.fetch_add(1);
+    conn->send_line(event_json_detail("rejected", id, "reason", problem));
+    return;
+  }
+  // Daemon introspection is answered inline — it must work even when
+  // the queue is saturated, that is when you need it.
+  if (spec.kind == JobKind::kStats && spec.blif.empty() &&
+      spec.blif_path.empty()) {
+    JobReport rep = daemon_stats_report();
+    conn->send_line("{\"event\":\"done\",\"id\":" + std::to_string(id) +
+                    ",\"report\":" + rep.to_json() + "}");
+    return;
+  }
+  if (draining_.load()) {
+    rejected_.fetch_add(1);
+    conn->send_line(
+        event_json_detail("rejected", id, "reason", "daemon draining"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->state_mutex);
+    if (conn->outstanding >= opts_.per_client_max) {
+      rejected_.fetch_add(1);
+      conn->send_line(event_json_detail(
+          "rejected", id, "reason",
+          "per-client cap (" + std::to_string(opts_.per_client_max) +
+              " outstanding) reached"));
+      return;
+    }
+    ++conn->outstanding;
+  }
+  QueuedJob job;
+  job.spec = std::move(spec);
+  job.conn = conn;
+  job.id = id;
+  if (!queue_push(std::move(job))) {
+    rejected_.fetch_add(1);
+    conn->end_job();
+    conn->send_line(event_json_detail(
+        "rejected", id, "reason",
+        "queue full (" + std::to_string(opts_.queue_max) + " jobs)"));
+    return;
+  }
+  conn->send_line(event_json("accepted", id));
+}
+
+bool Daemon::queue_push(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_closed_ || queue_.size() >= opts_.queue_max) return false;
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+bool Daemon::queue_pop(QueuedJob* out) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void Daemon::queue_close() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+std::deque<Daemon::QueuedJob> Daemon::queue_take_all() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  std::deque<QueuedJob> out;
+  out.swap(queue_);
+  return out;
+}
+
+void Daemon::worker_loop() {
+  QueuedJob job;
+  while (queue_pop(&job)) process(std::move(job));
+}
+
+void Daemon::process(QueuedJob job) {
+  const auto& conn = job.conn;
+  conn->send_line(event_json("start", job.id));
+
+  // Cache probe. Path payloads are fingerprinted over the file bytes —
+  // the same circuit submitted inline or by path hits the same entry.
+  std::uint64_t fingerprint = 0;
+  bool have_fingerprint = false;
+  if (job.spec.resume.empty()) {
+    std::string payload = job.spec.blif;
+    if (!job.spec.blif_path.empty() && !slurp(job.spec.blif_path, &payload))
+      payload.clear();
+    if (!payload.empty()) {
+      fingerprint = job_fingerprint(job.spec, proof::digest_bytes(payload));
+      have_fingerprint = true;
+    }
+  }
+  if (have_fingerprint) {
+    if (auto cached = cache_.lookup(fingerprint)) {
+      served_.fetch_add(1);
+      conn->send_line(event_json("cache-hit", job.id));
+      conn->send_line("{\"event\":\"done\",\"id\":" + std::to_string(job.id) +
+                      ",\"report\":" + cached->to_json() + "}");
+      conn->end_job();
+      return;
+    }
+  }
+
+  ResourceGovernor governor;
+  running_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_governors_.push_back(&governor);
+    // A drain broadcast that raced this registration must still land.
+    if (draining_.load()) governor.request_interrupt();
+  }
+  JobReport rep = run_job(job.spec, governor);
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_governors_.erase(std::find(active_governors_.begin(),
+                                      active_governors_.end(), &governor));
+  }
+  running_.fetch_sub(1);
+  served_.fetch_add(1);
+  if (have_fingerprint) cache_.insert(fingerprint, job.spec, rep);
+  if (rep.degraded)
+    for (const std::string& d : rep.diagnostics)
+      if (d.rfind("degraded:", 0) == 0)
+        conn->send_line(event_json_detail("degraded", job.id, "detail", d));
+  conn->send_line("{\"event\":\"done\",\"id\":" + std::to_string(job.id) +
+                  ",\"report\":" + rep.to_json() + "}");
+  conn->end_job();
+}
+
+JobReport Daemon::daemon_stats_report() const {
+  JobReport rep;
+  rep.kind = "stats";
+  rep.verdict = "ok";
+  rep.daemon_served = served_.load();
+  rep.daemon_cache_hits = cache_.hits();
+  rep.daemon_cache_entries = cache_.size();
+  rep.daemon_rejected = rejected_.load();
+  rep.daemon_running = running_.load();
+  {
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(queue_mutex_));
+    rep.daemon_queued = queue_.size();
+  }
+  return rep;
+}
+
+}  // namespace kms::serve

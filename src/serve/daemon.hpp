@@ -1,0 +1,132 @@
+// kmsd's engine room: a Unix-domain-socket job server.
+//
+// Wire protocol (newline-delimited JSON, one connection per client):
+//   client -> daemon   one JobSpec object per line (schema kms-job-v1)
+//   daemon -> client   event objects, each tagged with the 1-based
+//                      submission id on that connection:
+//     {"event":"accepted","id":N}        spec parsed, job queued
+//     {"event":"start","id":N}           a worker picked it up
+//     {"event":"cache-hit","id":N}       served from the digest cache
+//     {"event":"degraded","id":N,"detail":...}   run degraded (note)
+//     {"event":"done","id":N,"report":{...}}     the JobReport
+//     {"event":"rejected","id":N,"reason":...}   not run at all
+//     {"event":"draining"}               daemon is shutting down
+//
+// Scheduling: jobs land in one bounded FIFO and are executed by the
+// PR-5 ThreadPool (one pop per free worker lane — self-scheduling, so
+// one long certify job never strands the queue). Admission control is
+// two-level: a global queue bound and a per-connection outstanding cap,
+// both rejections immediate and explicit, so a flood from one client
+// degrades into that client's rejections instead of everyone's latency.
+//
+// Every job runs under its own ResourceGovernor. SIGTERM (request_
+// drain(), async-signal-safe) stops accepting connections and
+// admissions, rejects everything still queued, and interrupts the
+// governors of running jobs — which degrade exactly like a CLI ^C:
+// conservatively, with valid partial output, and (for durable jobs)
+// a final checkpoint + artifact finalization through the PR-7
+// DurableSession before the report is sent. No job is ever
+// half-committed: it either reports done (possibly degraded) or was
+// rejected without side effects.
+//
+// Completed reports are cached by job fingerprint (payload FNV-1a
+// digest + result-affecting options, src/serve/cache.hpp); a repeated
+// submission is answered without touching the engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/governor.hpp"
+#include "src/serve/cache.hpp"
+#include "src/serve/job.hpp"
+
+namespace kms::serve {
+
+struct DaemonOptions {
+  std::string socket_path;
+  unsigned workers = 0;            ///< job workers; 0 = hardware threads
+  std::size_t queue_max = 64;      ///< queued (not yet running) jobs
+  std::size_t per_client_max = 8;  ///< outstanding jobs per connection
+  std::size_t cache_entries = 256;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opts);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Create and bind the listening socket (replacing a stale socket
+  /// file). Throws std::runtime_error on failure. Split from serve()
+  /// so the caller can report readiness before blocking.
+  void bind();
+
+  /// Accept and serve until request_drain(); returns once every
+  /// accepted job has been answered and all workers have stopped.
+  void serve();
+
+  /// Async-signal-safe shutdown request (the SIGTERM handler calls
+  /// this): an atomic store plus one write to the wake pipe.
+  void request_drain();
+
+  std::uint64_t jobs_served() const { return served_.load(); }
+  std::uint64_t jobs_rejected() const { return rejected_.load(); }
+  const ReportCache& cache() const { return cache_; }
+
+ private:
+  struct Connection;
+  struct QueuedJob {
+    JobSpec spec;
+    std::shared_ptr<Connection> conn;
+    std::uint64_t id = 0;
+  };
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   std::uint64_t id, const std::string& line);
+  void worker_loop();
+  void process(QueuedJob job);
+  JobReport daemon_stats_report() const;
+
+  bool queue_push(QueuedJob job);
+  bool queue_pop(QueuedJob* out);
+  void queue_close();
+  std::deque<QueuedJob> queue_take_all();
+
+  DaemonOptions opts_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1, wake_wr_ = -1;
+  std::atomic<bool> draining_{false};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedJob> queue_;
+  bool queue_closed_ = false;
+
+  std::mutex conns_mutex_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  /// Governors of currently running jobs, so a drain can interrupt
+  /// them; entries are owned by the running process() frame.
+  std::mutex active_mutex_;
+  std::vector<ResourceGovernor*> active_governors_;
+
+  ReportCache cache_;
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> running_{0};
+};
+
+}  // namespace kms::serve

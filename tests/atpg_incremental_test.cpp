@@ -247,7 +247,7 @@ TEST(AtpgIncrementalTest, WitnessDropsJournalledAndSessionVerifies) {
   session.journal.set_input_digest(proof::digest_bytes(input));
   RedundancyRemovalOptions opts;
   opts.incremental = true;
-  opts.session = &session;
+  opts.context.session = &session;
   const auto r = remove_redundancies(net, opts);
   ASSERT_GT(r.removed, 0u);
   const std::string output = write_blif_string(net);

@@ -78,7 +78,7 @@ TEST(FaultInjectionTest, ExhaustedGovernorRemovesNothing) {
   ResourceGovernor gov;
   gov.set_conflict_limit(0);
   RedundancyRemovalOptions opts;
-  opts.governor = &gov;
+  opts.context.governor = &gov;
   const RedundancyRemovalResult r = remove_redundancies(net, opts);
   EXPECT_EQ(r.removed, 0u);
   EXPECT_TRUE(r.aborted);
@@ -96,7 +96,7 @@ TEST(FaultInjectionTest, MidLoopCancellationLeavesEquivalentNetwork) {
       FaultInjector::random(/*seed=*/3, /*abort_probability=*/0.0,
                             /*cancel_after_queries=*/5));
   KmsOptions opts;
-  opts.governor = &gov;
+  opts.context.governor = &gov;
   const KmsStats stats = kms_make_irredundant(net, opts);
   EXPECT_TRUE(stats.interrupted);
   EXPECT_TRUE(stats.degraded);
@@ -146,7 +146,7 @@ TEST_P(FaultInjectionScheduleTest, PreservesEquivalence) {
   gov.set_injector(FaultInjector::random(seed, probability, cancel_after));
 
   KmsOptions opts;
-  opts.governor = &gov;
+  opts.context.governor = &gov;
   // The property under test is equivalence under degradation, not
   // optimization depth: cap the branch-and-bound budget and the loop's
   // transform count so uninjected schedules on the random-network
@@ -211,8 +211,8 @@ TEST(FaultInjectionTest, DegradedRunYieldsPartialJournalThatStillVerifies) {
       FaultInjector::random(/*seed=*/11, /*abort_probability=*/0.5,
                             /*cancel_after_queries=*/8));
   KmsOptions opts;
-  opts.governor = &gov;
-  opts.session = &session;
+  opts.context.governor = &gov;
+  opts.context.session = &session;
   const KmsStats stats = kms_make_irredundant(net, opts);
   ASSERT_TRUE(stats.degraded);
 
@@ -270,7 +270,7 @@ TEST(FaultInjectionTest, UninjectedGovernorMatchesUngovernedResult) {
 
   ResourceGovernor gov;
   KmsOptions gopts;
-  gopts.governor = &gov;
+  gopts.context.governor = &gov;
   const KmsStats gs = kms_make_irredundant(governed, gopts);
   const KmsStats ps = kms_make_irredundant(plain, KmsOptions{});
 

@@ -298,7 +298,7 @@ CertifiedRun certified_consensus_run(bool static_prepass = false) {
   run.session.journal.set_model(net.name());
   run.session.journal.set_input_digest(digest_bytes(run.input));
   KmsOptions opts;
-  opts.session = &run.session;
+  opts.context.session = &run.session;
   // Default off: these tests exercise the DRAT-certificate path, and
   // the static pre-pass would discharge the consensus redundancies
   // SAT-free (the static journal path has its own tests below and in

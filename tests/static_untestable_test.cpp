@@ -221,8 +221,8 @@ TEST(StaticUntestableTest, InterruptedRunRecordsNoStaticVerdicts) {
   session.journal.set_model(net.name());
   RedundancyRemovalOptions opts;
   opts.static_prepass = true;
-  opts.governor = &gov;
-  opts.session = &session;
+  opts.context.governor = &gov;
+  opts.context.session = &session;
   const auto r = remove_redundancies(net, opts);
   EXPECT_EQ(r.removed, 0u);
   EXPECT_TRUE(r.aborted);
@@ -248,8 +248,8 @@ TEST(StaticUntestableTest, AbortedRunsNeverJournalVacuousStaticClaims) {
     session.journal.set_model(net.name());
     RedundancyRemovalOptions opts;
     opts.static_prepass = true;
-    opts.governor = &gov;
-    opts.session = &session;
+    opts.context.governor = &gov;
+    opts.context.session = &session;
     const auto r = remove_redundancies(net, opts);
 
     const std::size_t claims =
@@ -291,7 +291,7 @@ TEST(StaticUntestableTest, JournalStaticStepsSurviveTextRoundTrip) {
   session.journal.set_input_digest(proof::digest_bytes(input));
   RedundancyRemovalOptions opts;
   opts.static_prepass = true;
-  opts.session = &session;
+  opts.context.session = &session;
   const auto r = remove_redundancies(net, opts);
   EXPECT_GT(r.static_discharged, 0u);
   session.journal.set_output_digest(

@@ -113,6 +113,22 @@ echo "== bench smoke: bench_kmsloop --json (checked preset) =="
 "$BUILD_DIR/bench/bench_kmsloop" --json "$CERT_DIR/BENCH_kmsloop.json" --quick
 python3 tools/validate_bench_kmsloop.py "$CERT_DIR/BENCH_kmsloop.json"
 
+# Serving surface: the JobSpec/JobReport round-trip + run_job suite and
+# the kmsd end-to-end tests (real daemon, real socket: kmscli byte-
+# identity, cache hits, admission rejections, SIGTERM drain), then a
+# load smoke — a few hundred mixed jobs from concurrent clients over
+# the socket of a freshly spawned checked-build kmsd. The validator
+# fails on schema violations, on any job without a terminal event, and
+# on a ZERO cache-hit count: the workload resubmits every job, so a
+# silent cache regression cannot pass this stage.
+echo "== serve-labelled tests (checked preset) =="
+ctest --preset checked -L serve --output-on-failure
+
+echo "== serve smoke: kmsd_load.py --json (checked preset) =="
+python3 tools/kmsd_load.py --kmsd "$BUILD_DIR/tools/kmsd" \
+  --json "$CERT_DIR/BENCH_serve.json" --quick
+python3 tools/validate_bench_serve.py "$CERT_DIR/BENCH_serve.json"
+
 # clang-tidy stage: bug-prone and performance checks over the analysis
 # subsystem and the files that consume it (config in .clang-tidy; the
 # `tidy` preset exports compile_commands.json). Gated on the tool being

@@ -1,5 +1,13 @@
 // kmscli — command-line front end for the library.
 //
+// Since the job API redesign this binary is a thin client: it maps its
+// command line onto a serve::JobSpec (the shared flag table in
+// tools/args.hpp), hands the spec to serve::run_job() — the same entry
+// point the kmsd daemon schedules — and renders the returned JobReport
+// as the classic text UI. `kmscli X in.blif --flags` and the JSON line
+// {"kind":"X",...} submitted to a daemon are therefore the same run by
+// construction, byte-identical artifacts included.
+//
 //   kmscli irr   <in.blif> [-o out.blif] [--mode static|viability]
 //                run the KMS algorithm (combinational or .latch BLIF;
 //                sequential models are processed through their
@@ -11,25 +19,20 @@
 //   kmscli stats <in.blif>
 //                size/depth/interface summary
 //   kmscli analyze <in.blif> [--json]
-//                SAT-free static structural analysis: levels, post-
-//                dominators, SCOAP testability metrics, fault
-//                equivalence/dominance collapsing, static untestability
-//                verdicts, and the NL017-NL021 structural findings.
-//                --json emits the machine-readable report instead of
-//                text. (--analyze is accepted as an alias.)
+//                SAT-free static structural analysis (--analyze alias)
+//   kmscli lint  <in.blif> [--json] [--strict] [--no-warn]
+//                single-file lint via the job API (kmslint remains the
+//                multi-file front end)
 //
 // The --check flag runs the netlist invariant checker (src/check/) on
 // the input and after each transform stage, printing diagnostics to
 // stderr; error-severity findings abort with exit code 2.
 //
 // Proof-carrying mode (irr only): --certify runs the whole pipeline
-// under a proof session — every UNSAT verdict that licenses a transform
-// is recorded as a DRAT certificate, every transform journalled — and
-// then verifies the run in-process with the independent checker
-// (src/proof/); a verification failure exits 2. --emit-proof <dir>
-// additionally (or instead) writes the artifact set (input.blif,
-// output.blif, journal.txt, q<N>.cnf/q<N>.drat) for offline checking
-// with `kmsproof <dir>`.
+// under a proof session and verifies it in-process (src/proof/); a
+// verification failure exits 2. --emit-proof <dir> additionally (or
+// instead) writes the artifact set for offline checking with
+// `kmsproof <dir>`.
 //
 // Resource governance: --time-limit <sec> arms a wall-clock deadline and
 // --conflict-limit <n> a global SAT conflict budget; SIGINT or SIGTERM
@@ -40,77 +43,37 @@
 // SIGINT/SIGTERM exits immediately.
 //
 // Crash safety (irr with --emit-proof): the artifact directory doubles
-// as a durable session — source BLIF, a write-ahead log of every
-// committed journal step, and periodic checkpoints (--checkpoint-every
-// commits; phase boundaries always). A run killed at any instant is
-// continued with `kmscli irr --resume <dir>`, which replays the log to
-// the last checkpoint and produces a result bit-identical to the
-// uninterrupted run. See DESIGN.md §14.
+// as a durable session; a run killed at any instant is continued with
+// `kmscli irr --resume <dir>`. See DESIGN.md §14.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on processing errors,
 // 3 on graceful degradation (valid partial result under a resource
 // limit or interrupt), 130 on a second SIGINT/SIGTERM (immediate abort).
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <system_error>
 
-#include "src/analysis/report.hpp"
-#include "src/analysis/static_untestable.hpp"
-#include "src/atpg/atpg.hpp"
-#include "src/base/governor.hpp"
 #include "src/base/durable.hpp"
-#include "src/check/checker.hpp"
+#include "src/base/governor.hpp"
 #include "src/check/hooks.hpp"
-#include "src/core/kms.hpp"
-#include "src/netlist/blif.hpp"
-#include "src/netlist/transform.hpp"
-#include "src/proof/journal.hpp"
-#include "src/proof/verify.hpp"
-#include "src/recover/session.hpp"
-#include "src/seq/seq_network.hpp"
-#include "src/timing/path.hpp"
-#include "src/timing/sensitize.hpp"
-#include "src/timing/sta.hpp"
+#include "src/serve/job.hpp"
+#include "src/serve/runner.hpp"
+#include "tools/args.hpp"
 
 namespace {
 
 using namespace kms;
-
-struct Args {
-  std::string command;
-  std::string input;
-  std::string output;
-  SensitizationMode mode = SensitizationMode::kStatic;
-  bool check = false;
-  bool json = false;      // analyze: machine-readable report
-  bool certify = false;   // verify the run in-process (irr only)
-  std::string proof_dir;  // --emit-proof: artifact directory (irr only)
-  std::string resume_dir;  // --resume: continue a crashed session
-  std::uint64_t checkpoint_every = 8;  // commits per checkpoint; 0 = phases only
-  double time_limit = 0;            // seconds; 0 = unlimited
-  std::int64_t conflict_limit = -1; // global SAT conflicts; -1 = unlimited
-  unsigned jobs = 1;  // removal workers; 0 = hardware concurrency
-  bool jobs_set = false;  // --jobs given (a resume otherwise reuses meta)
-  bool sta_full = false;      // --sta full: per-iteration full recompute
-  bool audit_timing = false;  // --audit-timing: NL024-NL028 per repair
-  std::size_t speculate_k = 1;  // loop speculation width (bit-identical)
-  ResourceGovernor* governor = nullptr;  // installed by main()
-};
+using serve::JobKind;
+using serve::JobReport;
+using serve::JobSpec;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: kmscli <irr|audit|delay|stats|analyze> <in.blif> "
+               "usage: kmscli <irr|audit|delay|stats|analyze|lint> <in.blif> "
                "[-o out.blif] [--mode static|viability] [--check]\n"
-               "              [--json]                             "
-               "(analyze only)\n"
+               "              [--json] [--strict] [--no-warn]        "
+               "(analyze/lint)\n"
                "              [--time-limit <sec>] [--conflict-limit <n>] "
                "[--jobs <n>]\n"
                "              [--certify] [--emit-proof <dir>] "
@@ -139,86 +102,6 @@ int usage() {
   return 1;
 }
 
-bool parse_args(int argc, char** argv, Args* args) {
-  if (argc < 3) return false;
-  args->command = argv[1];
-  int first_flag = 3;
-  if (argv[2][0] == '-' && argv[2][1] == '-') {
-    // Flag-only invocation (kmscli irr --resume <dir>): no input path.
-    first_flag = 2;
-  } else {
-    args->input = argv[2];
-  }
-  for (int i = first_flag; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "-o" && i + 1 < argc) {
-      args->output = argv[++i];
-    } else if (a == "--mode" && i + 1 < argc) {
-      const std::string m = argv[++i];
-      if (m == "static") {
-        args->mode = SensitizationMode::kStatic;
-      } else if (m == "viability") {
-        args->mode = SensitizationMode::kViability;
-      } else {
-        return false;
-      }
-    } else if (a == "--check") {
-      args->check = true;
-    } else if (a == "--json") {
-      args->json = true;
-    } else if (a == "--certify") {
-      args->certify = true;
-    } else if (a == "--emit-proof" && i + 1 < argc) {
-      args->proof_dir = argv[++i];
-    } else if (a == "--resume" && i + 1 < argc) {
-      args->resume_dir = argv[++i];
-    } else if (a == "--checkpoint-every" && i + 1 < argc) {
-      char* end = nullptr;
-      const long long n = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 0) return false;
-      args->checkpoint_every = static_cast<std::uint64_t>(n);
-    } else if (a == "--time-limit" && i + 1 < argc) {
-      char* end = nullptr;
-      args->time_limit = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || args->time_limit <= 0)
-        return false;
-    } else if (a == "--conflict-limit" && i + 1 < argc) {
-      char* end = nullptr;
-      args->conflict_limit = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || args->conflict_limit < 0)
-        return false;
-    } else if (a == "--sta" && i + 1 < argc) {
-      const std::string m = argv[++i];
-      if (m == "full") {
-        args->sta_full = true;
-      } else if (m == "incremental") {
-        args->sta_full = false;
-      } else {
-        return false;
-      }
-    } else if (a == "--audit-timing") {
-      args->audit_timing = true;
-    } else if (a == "--speculate-k" && i + 1 < argc) {
-      char* end = nullptr;
-      const long long n = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 1 || n > 4096) return false;
-      args->speculate_k = static_cast<std::size_t>(n);
-    } else if (a == "--jobs" && i + 1 < argc) {
-      char* end = nullptr;
-      const long long n = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 0 || n > 1024) return false;
-      args->jobs = static_cast<unsigned>(n);
-      args->jobs_set = true;
-    } else {
-      return false;
-    }
-  }
-  // Exactly one of <in.blif> / --resume <dir> must name the work.
-  if (args->input.empty() && args->resume_dir.empty()) return false;
-  if (!args->input.empty() && !args->resume_dir.empty()) return false;
-  return true;
-}
-
 /// SIGINT/SIGTERM wiring: the handler only flips the governor's atomic
 /// flag (async-signal-safe); every solve then winds down cooperatively —
 /// the run drains to its next commit point, checkpoints (in durable
@@ -232,375 +115,133 @@ void handle_stop_signal(int) {
   g_governor->request_interrupt();
 }
 
-/// Print how a governed run degraded (if it did) and pick the exit
-/// code: 3 for a valid-but-partial result, `ok_code` otherwise.
-int finish_governed(const Args& args, int ok_code) {
-  const GovernorReport r = args.governor->report();
-  if (!r.degraded()) return ok_code;
-  std::fprintf(stderr,
-               "degraded: %llu of %llu queries unknown%s%s%s "
-               "(%llu conflicts, %llu propagations charged)\n",
-               static_cast<unsigned long long>(r.unknown_results),
-               static_cast<unsigned long long>(r.queries),
-               r.deadline_hit ? ", deadline hit" : "",
-               r.budget_exhausted ? ", conflict budget exhausted" : "",
-               r.interrupted ? ", interrupted" : "",
-               static_cast<unsigned long long>(r.conflicts),
-               static_cast<unsigned long long>(r.propagations));
-  return 3;
-}
-
-/// Run the invariant checker on `net`, printing findings to stderr.
-/// Throws CheckFailure on error-severity findings so commands fail fast.
-void check_stage(const Args& args, const Network& net, const char* stage) {
-  if (!args.check) return;
-  const Diagnostics diags = NetworkChecker().run(net);
-  if (!diags.empty())
-    diags.print_text(std::cerr, std::string("check(") + stage + "): ");
-  if (diags.error_count() > 0)
-    throw CheckFailure(std::string("invariant violations at stage ") + stage);
-}
-
-/// Load either a combinational or a sequential BLIF file.
-BlifSequential load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw BlifError("cannot open " + path);
-  return read_blif_sequential(in);
-}
-
-/// Read a file's raw bytes (durable sessions persist the exact source).
-std::string slurp_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw BlifError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-/// --emit-proof preflight: create the artifact directory and prove it
-/// is writable before any expensive work starts, with a diagnostic that
-/// names the actual problem instead of failing an hour in.
-void preflight_artifact_dir(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec)
-    throw std::runtime_error("cannot create artifact directory '" + dir +
-                             "': " + ec.message());
-  if (!std::filesystem::is_directory(dir))
-    throw std::runtime_error("artifact path '" + dir +
-                             "' exists but is not a directory");
-  const std::string probe = dir + "/.kms-probe.tmp";
-  {
-    std::ofstream out(probe, std::ios::trunc);
-    if (!(out << "probe\n"))
-      throw std::runtime_error("artifact directory '" + dir +
-                               "' is not writable");
-  }
-  std::filesystem::remove(probe, ec);
-}
-
-void print_stats(const Network& net, std::size_t latches) {
-  std::printf("model          : %s\n", net.name().c_str());
-  std::printf("inputs/outputs : %zu / %zu\n",
-              net.inputs().size() - latches,
-              net.outputs().size() - latches);
-  std::printf("latches        : %zu\n", latches);
-  std::printf("gates          : %zu (depth %zu, max fanout %zu)\n",
-              net.count_gates(), net.depth(), net.max_fanout());
-}
-
-int cmd_stats(const Args& args) {
-  const BlifSequential model = load(args.input);
-  check_stage(args, model.comb, "input");
-  print_stats(model.comb, model.latch_init.size());
-  return 0;
-}
-
-int cmd_delay(const Args& args) {
-  BlifSequential model = load(args.input);
-  check_stage(args, model.comb, "input");
-  decompose_to_simple(model.comb);
-  check_stage(args, model.comb, "decompose_to_simple");
-  const double topo = topological_delay(model.comb);
-  const DelayReport r =
-      computed_delay(model.comb, args.mode, 200000, args.governor);
-  std::printf("longest path    : %.3f\n", topo);
-  std::printf("computed delay  : %.3f (%s, %s)\n", r.delay,
-              args.mode == SensitizationMode::kStatic ? "static sensitization"
-                                                      : "viability",
-              r.exact ? "exact"
-                      : (r.aborted ? "upper bound, resources exhausted"
-                                   : "upper bound, budget exhausted"));
-  if (r.witness)
-    std::printf("critical path   : %s\n",
-                format_path(model.comb, *r.witness).c_str());
-  if (topo > r.delay + 1e-9 && r.exact)
-    std::printf("note: the longest path is FALSE — a plain static timing "
-                "verifier overestimates this circuit by %.3f\n",
-                topo - r.delay);
-  return finish_governed(args, 0);
-}
-
-int cmd_analyze(const Args& args) {
-  BlifSequential model = load(args.input);
-  check_stage(args, model.comb, "input");
-  decompose_to_simple(model.comb);
-  check_stage(args, model.comb, "decompose_to_simple");
-  const analysis::AnalysisReport rep = analysis::run_analysis(model.comb);
-  if (args.json)
-    rep.print_json(std::cout);
-  else
-    rep.print_text(std::cout);
-  return 0;
-}
-
-int cmd_audit(const Args& args) {
-  BlifSequential model = load(args.input);
-  check_stage(args, model.comb, "input");
-  decompose_to_simple(model.comb);
-  check_stage(args, model.comb, "decompose_to_simple");
-  const auto faults = collapsed_faults(model.comb);
-  Atpg atpg(model.comb, args.governor);
-  // Static pre-pass: faults the dominator/implication engine proves
-  // untestable are discharged without a SAT solve (and without
-  // spending governor budget on them).
-  const analysis::StaticUntestable stat(model.comb);
-  StaticOracle oracle;
-  for (const Fault& f : faults) {
-    const analysis::StaticResult r =
-        f.site == Fault::Site::kStem ? stat.analyze_stem(f.gate, f.stuck)
-                                     : stat.analyze_branch(f.conn, f.stuck);
-    if (r.untestable()) oracle.add(f, nullptr);
-  }
-  atpg.set_static_oracle(&oracle);
-  std::size_t redundant = 0;
-  std::size_t unresolved = 0;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (args.governor->should_stop()) {
-      // Out of resources: everything not yet queried stays unresolved
-      // (conservatively assumed testable), never reported redundant.
-      unresolved += faults.size() - i;
-      break;
-    }
-    const TestOutcome outcome = atpg.generate_test(faults[i]).outcome;
-    if (outcome == TestOutcome::kUntestable) {
-      ++redundant;
-      std::printf("redundant: %s\n",
-                  format_fault(model.comb, faults[i]).c_str());
-    } else if (outcome == TestOutcome::kUnknown) {
-      ++unresolved;
-    }
-  }
-  std::printf("faults         : %zu collapsed\n", faults.size());
-  std::printf("redundant      : %zu\n", redundant);
-  std::printf("unknown        : %zu (resource-limited; treated as testable)\n",
-              unresolved);
-  std::printf("sat conflicts  : %llu\n",
-              static_cast<unsigned long long>(atpg.stats().sat_conflicts));
-  const AtpgStats& as = atpg.stats();
-  std::printf("sat solves     : %llu (+%llu structural shortcuts, "
-              "+%llu static pre-pass)\n",
-              static_cast<unsigned long long>(as.sat_solves),
-              static_cast<unsigned long long>(as.structural_shortcuts),
-              static_cast<unsigned long long>(as.static_discharged));
-  if (as.sat_solves > 0)
-    std::printf("cone gates     : %.1f avg, %llu max per solve\n",
-                static_cast<double>(as.cone_gates_encoded) /
-                    static_cast<double>(as.sat_solves),
-                static_cast<unsigned long long>(as.max_cone_gates));
-  std::printf("verdict        : %s\n",
-              redundant != 0      ? "NOT fully testable"
-              : unresolved != 0   ? "inconclusive (resource limit)"
-                                  : "fully single-stuck-at testable");
-  return finish_governed(args, 0);
-}
-
-int cmd_irr(const Args& args) {
-  const bool resuming = !args.resume_dir.empty();
-  // An artifact directory makes the run a durable session: the journal
-  // is write-ahead-logged and checkpointed so a killed run resumes.
-  const bool durable = resuming || !args.proof_dir.empty();
-  const bool proving = args.certify || durable;
-
-  BlifSequential model;
-  recover::ResumeSetup rs;  // owns the resume state across the run
-  proof::ProofSession own_session;
-  proof::ProofSession* session = resuming ? &rs.session : &own_session;
-  std::string proof_input;
-  std::optional<recover::DurableSession> dur;
-  KmsOptions opts;
-
-  if (resuming) {
-    rs = recover::prepare_resume(args.resume_dir);
-    model = std::move(rs.model);
-    proof_input = rs.proof_input;
-    // The session's recorded configuration wins: resume-time flags must
-    // not silently change what the result bits depend on. --jobs may
-    // differ — the result is worker-count invariant.
-    recover::apply_meta(rs.info.meta, &opts);
-    if (rs.info.has_checkpoint) opts.resume = &rs.state;
-    dur.emplace(
-        recover::DurableSession::attach(args.resume_dir, rs.info, session));
-    std::fprintf(
-        stderr, "resuming %s: phase %s, %llu steps, %llu removals committed\n",
-        args.resume_dir.c_str(),
-        rs.info.has_checkpoint ? rs.info.ckpt.phase.c_str() : "start",
-        static_cast<unsigned long long>(rs.info.steps.size()),
-        static_cast<unsigned long long>(
-            rs.info.has_checkpoint ? rs.info.ckpt.stats.removal.removed : 0));
-  } else {
-    opts.mode = args.mode;
-    std::string source_bytes;
-    if (durable) {
-      preflight_artifact_dir(args.proof_dir);
-      source_bytes = slurp_file(args.input);
-      model = read_blif_sequential_string(source_bytes);
-    } else {
-      model = load(args.input);
-    }
-    check_stage(args, model.comb, "input");
-    if (proving) {
-      // The journal brackets the combinational core the pipeline
-      // actually transforms, serialized before any transform runs.
-      proof_input = write_blif_string(model.comb);
-      session->journal.set_model(model.comb.name());
-      session->journal.set_input_digest(proof::digest_bytes(proof_input));
-    }
-    if (durable) {
-      const recover::SessionMeta meta = recover::make_meta(
-          model.comb.name(), opts, args.jobs, args.checkpoint_every,
-          proof::digest_bytes(source_bytes));
-      dur.emplace(recover::DurableSession::create(args.proof_dir, meta,
-                                                  source_bytes, session));
-    }
-  }
-  // One RunContext configures the whole pipeline: governor, proof
-  // session, invariant checkpoints between KMS loop phases (--check),
-  // the removal-phase worker count (--jobs) and the durability sink.
-  opts.context.governor = args.governor;
-  opts.context.session = proving ? session : nullptr;
-  opts.context.check_invariants = args.check;
-  opts.context.jobs =
-      resuming && !args.jobs_set ? rs.info.meta.jobs : args.jobs;
-  // Engine selection is free at resume time too: the incremental and
-  // full engines produce bit-identical results, so it is not part of
-  // the session's recorded configuration.
-  opts.incremental_sta = !args.sta_full;
-  opts.audit_timing = args.audit_timing;
-  // Like --jobs and --sta, speculation width never changes the result
-  // bits, so it is free at resume time too (set after apply_meta — it is
-  // not part of the session's recorded configuration).
-  opts.speculate_k = args.speculate_k;
-  if (dur) opts.context.sink = &*dur;
-  const KmsStats stats = kms_make_irredundant(model.comb, opts);
-  check_stage(args, model.comb, "kms_make_irredundant");
-  if (proving) {
-    const std::string proof_output = write_blif_string(model.comb);
-    session->journal.set_output_digest(proof::digest_bytes(proof_output));
-    if (dur) dur->finalize(proof_input, proof_output);
-    if (args.certify) {
-      const proof::VerifyReport rep =
-          proof::verify_session(*session, proof_input, proof_output);
-      if (!rep) {
-        std::fprintf(stderr, "certification FAILED: %s\n", rep.error.c_str());
-        return 2;
-      }
-      std::fprintf(stderr,
-                   "certified%s: %zu journal steps, %zu certificates, "
-                   "%zu static claims re-derived, %zu deletions "
-                   "proof-backed\n",
-                   rep.partial ? " (partial run)" : "", rep.steps_checked,
-                   rep.certificates_checked, rep.static_checked,
-                   rep.deletions_verified);
-    }
-  }
-  std::fprintf(stderr,
-               "gates %zu -> %zu, delay %.3f -> %.3f (computed "
-               "%.3f -> %.3f), %zu loop transforms, %zu removals\n",
-               stats.initial_gates, stats.final_gates,
-               stats.initial_topo_delay, stats.final_topo_delay,
-               stats.initial_computed_delay, stats.final_computed_delay,
-               stats.constants_set, stats.redundancies_removed);
-  {
-    const RedundancyRemovalResult& r = stats.removal;
-    std::fprintf(
-        stderr,
-        "removal: %zu passes, %zu sat queries (+%zu structural, "
-        "+%zu static pre-pass), %zu sim-dropped, %zu witness-dropped, "
-        "%zu cache hits (%zu invalidated), cone avg %.1f max %llu, "
-        "sim %.3fs sat %.3fs\n",
-        r.passes, r.sat_queries, r.structural_shortcuts, r.static_discharged,
-        r.sim_dropped, r.witness_dropped, r.cache_hits, r.cache_invalidated,
-        r.atpg.sat_solves > 0
-            ? static_cast<double>(r.atpg.cone_gates_encoded) /
-                  static_cast<double>(r.atpg.sat_solves)
-            : 0.0,
-        static_cast<unsigned long long>(r.atpg.max_cone_gates),
-        r.sim_seconds, r.sat_seconds);
-  }
-  if (stats.sta_incremental)
+/// Render the irr summary the way the pre-job-API CLI printed it, from
+/// the report's typed counters (the report is the only data channel —
+/// the runner never writes to our stderr).
+void print_irr_summary(const JobSpec& spec, const JobReport& r) {
+  if (r.certified)
     std::fprintf(stderr,
-                 "timing: incremental sta, %zu repairs + %zu rebuilds "
-                 "touched %zu gates (per-iteration full recompute: %zu)%s\n",
-                 stats.sta_applies, stats.sta_rebuilds,
-                 stats.sta_gates_repaired, stats.sta_full_visits,
-                 args.audit_timing ? ", audited" : "");
-  if (stats.spec_batches > 0 || stats.spec_cache_hits > 0)
+                 "certified%s: %llu journal steps, %llu certificates, "
+                 "%llu static claims re-derived, %llu deletions "
+                 "proof-backed\n",
+                 r.certify_partial ? " (partial run)" : "",
+                 static_cast<unsigned long long>(r.steps_checked),
+                 static_cast<unsigned long long>(r.certificates_checked),
+                 static_cast<unsigned long long>(r.static_checked),
+                 static_cast<unsigned long long>(r.deletions_verified));
+  std::fprintf(stderr,
+               "gates %llu -> %llu, delay %.3f -> %.3f (computed "
+               "%.3f -> %.3f), %llu loop transforms, %llu removals\n",
+               static_cast<unsigned long long>(r.initial_gates),
+               static_cast<unsigned long long>(r.final_gates),
+               r.initial_topo_delay, r.final_topo_delay,
+               r.initial_computed_delay, r.final_computed_delay,
+               static_cast<unsigned long long>(r.constants_set),
+               static_cast<unsigned long long>(r.redundancies_removed));
+  std::fprintf(
+      stderr,
+      "removal: %llu passes, %llu sat queries (+%llu structural, "
+      "+%llu static pre-pass), %llu sim-dropped, %llu witness-dropped, "
+      "%llu cache hits (%llu invalidated), cone avg %.1f max %llu, "
+      "sim %.3fs sat %.3fs\n",
+      static_cast<unsigned long long>(r.removal_passes),
+      static_cast<unsigned long long>(r.removal_sat_queries),
+      static_cast<unsigned long long>(r.removal_structural_shortcuts),
+      static_cast<unsigned long long>(r.removal_static_discharged),
+      static_cast<unsigned long long>(r.removal_sim_dropped),
+      static_cast<unsigned long long>(r.removal_witness_dropped),
+      static_cast<unsigned long long>(r.removal_cache_hits),
+      static_cast<unsigned long long>(r.removal_cache_invalidated),
+      r.removal_sat_solves > 0
+          ? static_cast<double>(r.removal_cone_gates) /
+                static_cast<double>(r.removal_sat_solves)
+          : 0.0,
+      static_cast<unsigned long long>(r.removal_max_cone_gates),
+      r.removal_sim_seconds, r.removal_sat_seconds);
+  if (r.sta_incremental)
     std::fprintf(stderr,
-                 "speculation: %zu batches, %zu speculative solves, "
-                 "%zu cache hits (%zu banked, %zu invalidated)\n",
-                 stats.spec_batches, stats.spec_solves, stats.spec_cache_hits,
-                 stats.spec_cache_insertions, stats.spec_cache_invalidated);
-  if (stats.degraded)
+                 "timing: incremental sta, %llu repairs + %llu rebuilds "
+                 "touched %llu gates (per-iteration full recompute: %llu)%s\n",
+                 static_cast<unsigned long long>(r.sta_applies),
+                 static_cast<unsigned long long>(r.sta_rebuilds),
+                 static_cast<unsigned long long>(r.sta_gates_repaired),
+                 static_cast<unsigned long long>(r.sta_full_visits),
+                 spec.audit_timing ? ", audited" : "");
+  if (r.spec_batches > 0 || r.spec_cache_hits > 0)
+    std::fprintf(stderr,
+                 "speculation: %llu batches, %llu speculative solves, "
+                 "%llu cache hits (%llu banked, %llu invalidated)\n",
+                 static_cast<unsigned long long>(r.spec_batches),
+                 static_cast<unsigned long long>(r.spec_solves),
+                 static_cast<unsigned long long>(r.spec_cache_hits),
+                 static_cast<unsigned long long>(r.spec_cache_insertions),
+                 static_cast<unsigned long long>(r.spec_cache_invalidated));
+  if (r.degraded)
     std::fprintf(stderr,
                  "partial result (equivalent, conservatively degraded): "
-                 "%zu unknown queries%s%s%s%s\n",
-                 stats.unknown_queries,
-                 stats.deadline_hit ? ", deadline hit" : "",
-                 stats.budget_exhausted ? ", budget exhausted" : "",
-                 stats.interrupted ? ", interrupted" : "",
-                 stats.loop_exit == "unknown"
+                 "%llu unknown queries%s%s%s%s\n",
+                 static_cast<unsigned long long>(r.unknown_queries),
+                 r.deadline_hit ? ", deadline hit" : "",
+                 r.budget_exhausted ? ", budget exhausted" : "",
+                 r.interrupted ? ", interrupted" : "",
+                 r.loop_exit == "unknown"
                      ? " (loop exited on an undecided path verdict)"
                      : "");
-  if (args.output.empty()) {
-    write_blif_sequential(model.comb, model.latch_init.size(),
-                          model.latch_init, std::cout);
-  } else {
-    std::ofstream out(args.output);
-    if (!out) throw BlifError("cannot open " + args.output);
-    write_blif_sequential(model.comb, model.latch_init.size(),
-                          model.latch_init, out);
-  }
-  return finish_governed(args, 0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, &args)) return usage();
-  if (args.check) install_invariant_self_checks();
+  if (argc < 3) return usage();
+  JobSpec spec;
+  std::string cmd = argv[1];
+  if (cmd == "--analyze") cmd = "analyze";
+  if (!serve::parse_job_kind(cmd, &spec.kind) || spec.kind == JobKind::kCertify)
+    return usage();
+  int first_flag = 3;
+  if (argv[2][0] == '-' && argv[2][1] == '-') {
+    // Flag-only invocation (kmscli irr --resume <dir>): no input path.
+    first_flag = 2;
+  } else {
+    spec.blif_path = argv[2];
+  }
+  for (int i = first_flag; i < argc; ++i) {
+    switch (tools::parse_job_flag("kmscli", argc, argv, &i, &spec)) {
+      case tools::FlagResult::kHandled:
+        break;
+      case tools::FlagResult::kBadValue:
+        return usage();
+      case tools::FlagResult::kUnknown:
+        tools::report_unknown_flag("kmscli", argv[i]);
+        return usage();
+    }
+  }
+  if (!spec.validate().empty()) {
+    std::fprintf(stderr, "kmscli: %s\n", spec.validate().c_str());
+    return usage();
+  }
+
+  if (spec.check) install_invariant_self_checks();
   ResourceGovernor governor;
-  if (args.time_limit > 0) governor.set_time_limit(args.time_limit);
-  if (args.conflict_limit >= 0)
-    governor.set_conflict_limit(args.conflict_limit);
-  args.governor = &governor;
   g_governor = &governor;
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   // Crash-injection harness hook (KMS_CRASH_AT=<n> kills the process at
   // the n-th durability kill point); no-op outside the test suite.
   kill_points_init_from_env();
-  try {
-    if (args.command == "stats") return cmd_stats(args);
-    if (args.command == "delay") return cmd_delay(args);
-    if (args.command == "audit") return cmd_audit(args);
-    if (args.command == "irr") return cmd_irr(args);
-    if (args.command == "analyze" || args.command == "--analyze")
-      return cmd_analyze(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
-  return usage();
+
+  const JobReport rep = serve::run_job(spec, governor);
+
+  // Structured diagnostics (check findings, resume note, degradation)
+  // all go to stderr, like they always have.
+  for (const std::string& d : rep.diagnostics)
+    std::fprintf(stderr, "%s\n", d.c_str());
+  if (!rep.error.empty()) std::fprintf(stderr, "error: %s\n", rep.error.c_str());
+  if ((spec.kind == JobKind::kIrr) && rep.exit_code != 1 && rep.error.empty())
+    print_irr_summary(spec, rep);
+  if (!rep.text.empty()) std::fwrite(rep.text.data(), 1, rep.text.size(), stdout);
+  if (!rep.output_blif.empty())
+    std::fwrite(rep.output_blif.data(), 1, rep.output_blif.size(), stdout);
+  if (rep.verdict == "rejected") return usage();
+  return rep.exit_code;
 }

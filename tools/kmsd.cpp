@@ -1,0 +1,130 @@
+// kmsd — job server daemon for the kms library.
+//
+//   kmsd --socket <path> [--workers <n>] [--queue-max <n>]
+//        [--per-client-max <n>] [--cache-entries <n>]
+//
+// Listens on a Unix-domain socket for newline-delimited JSON JobSpec
+// objects (schema kms-job-v1, the same spec kmscli builds from its
+// command line) and serves irr/audit/certify/analyze/lint/delay/stats
+// jobs concurrently on a worker pool, one ResourceGovernor per job.
+// Responses are NDJSON event streams; see src/serve/daemon.hpp for the
+// wire protocol. Completed deterministic runs are cached by payload
+// digest + options fingerprint, so resubmitting the same circuit is a
+// hash lookup, not a SAT campaign.
+//
+// "ready: listening on <path>" is printed to stderr after the socket is
+// bound — scripts should wait for it before connecting. SIGTERM (or
+// SIGINT) drains gracefully: running jobs finish (durable jobs
+// checkpoint and finalize their artifact directories), queued jobs are
+// rejected, every client gets its pending reports, then the daemon
+// exits 0. A second signal aborts immediately with 130.
+//
+// Exit codes: 0 clean drain, 1 usage error, 2 startup failure.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/serve/daemon.hpp"
+#include "tools/args.hpp"
+
+namespace {
+
+using namespace kms;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: kmsd --socket <path> [--workers <n>] [--queue-max <n>]\n"
+               "            [--per-client-max <n>] [--cache-entries <n>]\n"
+               "--workers: concurrent job executors (default 0 = one per "
+               "hardware thread)\n"
+               "wire protocol: one kms-job-v1 JSON object per line; NDJSON "
+               "event replies\n"
+               "SIGTERM drains: running jobs finish, queued jobs are "
+               "rejected, then exit 0\n"
+               "exit codes: 0 clean drain, 1 usage, 2 startup failure\n");
+  return 1;
+}
+
+serve::Daemon* g_daemon = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_daemon == nullptr) std::_Exit(130);
+  static volatile std::sig_atomic_t stops = 0;
+  if (stops++ != 0) std::_Exit(130);
+  g_daemon->request_drain();
+}
+
+bool parse_count(const char* tool, const char* flag, int argc, char** argv,
+                 int* i, long long hi, long long* out) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s: flag '%s' expects a count\n", tool, flag);
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoll(argv[++*i], &end, 10);
+  if (end == argv[*i] || *end != '\0' || *out < 0 || *out > hi) {
+    std::fprintf(stderr, "%s: flag '%s' expects a count 0..%lld\n", tool,
+                 flag, hi);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::DaemonOptions opts;
+  long long n = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      opts.socket_path = argv[++i];
+    } else if (a == "--workers") {
+      if (!parse_count("kmsd", "--workers", argc, argv, &i, 1024, &n))
+        return usage();
+      opts.workers = static_cast<unsigned>(n);
+    } else if (a == "--queue-max") {
+      if (!parse_count("kmsd", "--queue-max", argc, argv, &i, 1 << 20, &n))
+        return usage();
+      opts.queue_max = static_cast<std::size_t>(n);
+    } else if (a == "--per-client-max") {
+      if (!parse_count("kmsd", "--per-client-max", argc, argv, &i, 1 << 20,
+                       &n))
+        return usage();
+      opts.per_client_max = static_cast<std::size_t>(n);
+    } else if (a == "--cache-entries") {
+      if (!parse_count("kmsd", "--cache-entries", argc, argv, &i, 1 << 20,
+                       &n))
+        return usage();
+      opts.cache_entries = static_cast<std::size_t>(n);
+    } else {
+      tools::report_unknown_flag("kmsd", argv[i]);
+      return usage();
+    }
+  }
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr, "kmsd: --socket <path> is required\n");
+    return usage();
+  }
+
+  serve::Daemon daemon(opts);
+  try {
+    daemon.bind();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kmsd: %s\n", e.what());
+    return 2;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::fprintf(stderr, "ready: listening on %s\n", opts.socket_path.c_str());
+  daemon.serve();
+  std::fprintf(stderr,
+               "drained: %llu jobs served (%llu cache hits), %llu rejected\n",
+               static_cast<unsigned long long>(daemon.jobs_served()),
+               static_cast<unsigned long long>(daemon.cache().hits()),
+               static_cast<unsigned long long>(daemon.jobs_rejected()));
+  return 0;
+}

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Load harness for kmsd: replay a mixed job stream over the socket.
+
+Spawns a kmsd (or connects to a running one), drives a few hundred
+irr/audit/analyze/lint/delay/stats jobs from several concurrent client
+connections, and writes a BENCH_serve.json with the kms-bench-serve-v1
+schema: per-kind counts and latencies, suite throughput, and the
+daemon's own end-of-run counters (taken from a payload-less stats job,
+so the numbers are the daemon's, not the harness's).
+
+The workload repeats every (circuit, kind) pair, so a correct digest
+cache MUST produce cache hits — validate_bench_serve.py fails the run
+if it did not. Pure stdlib; no dependencies.
+
+Usage:
+  tools/kmsd_load.py --kmsd build/tools/kmsd --json BENCH_serve.json
+  tools/kmsd_load.py --socket /tmp/kms.sock --json out.json --quick
+"""
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+KINDS = ["irr", "audit", "analyze", "lint", "delay", "stats"]
+
+
+def find_circuits(examples_dir):
+    paths = sorted(
+        os.path.join(examples_dir, f)
+        for f in os.listdir(examples_dir)
+        if f.endswith(".blif")
+    )
+    if not paths:
+        sys.exit(f"kmsd_load: no .blif files in {examples_dir}")
+    out = []
+    for p in paths:
+        with open(p) as f:
+            out.append((os.path.basename(p)[: -len(".blif")], f.read()))
+    return out
+
+
+def make_jobs(circuits, rounds):
+    """rounds passes over (circuit x kind); identical resubmissions in
+    later rounds are what exercises the daemon's digest cache."""
+    jobs = []
+    for _ in range(rounds):
+        for name, blif in circuits:
+            for kind in KINDS:
+                spec = {"schema": "kms-job-v1", "kind": kind, "blif": blif,
+                        "client": "kmsd_load"}
+                jobs.append((name, kind, spec))
+    return jobs
+
+
+class Client(threading.Thread):
+    """One connection; pipelines jobs with a bounded outstanding window
+    so the stream never trips the daemon's per-client admission cap."""
+
+    def __init__(self, sock_path, jobs, window):
+        super().__init__()
+        self.sock_path = sock_path
+        self.jobs = jobs
+        self.window = window
+        self.results = []  # (kind, event, seconds, cache_hit)
+        self.error = None
+
+    def run(self):
+        try:
+            self._run()
+        except Exception as e:  # surfaced by the main thread
+            self.error = e
+
+    def _run(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(self.sock_path)
+        rfile = sock.makefile("r", encoding="utf-8")
+        submit_time = {}
+        kind_of = {}
+        outstanding = 0
+        next_id = 1
+        done = 0
+        for _, kind, spec in self.jobs:
+            line = json.dumps(spec, separators=(",", ":")) + "\n"
+            sock.sendall(line.encode())
+            submit_time[next_id] = time.monotonic()
+            kind_of[next_id] = kind
+            next_id += 1
+            outstanding += 1
+            while outstanding >= self.window:
+                outstanding, done = self._read_event(
+                    rfile, submit_time, kind_of, outstanding, done)
+        while done < len(self.jobs):
+            outstanding, done = self._read_event(
+                rfile, submit_time, kind_of, outstanding, done)
+        sock.close()
+
+    def _read_event(self, rfile, submit_time, kind_of, outstanding, done):
+        line = rfile.readline()
+        if not line:
+            raise RuntimeError("daemon closed the connection mid-stream")
+        ev = json.loads(line)
+        name = ev.get("event")
+        if name not in ("done", "rejected"):
+            return outstanding, done  # accepted/start/cache-hit/degraded
+        jid = ev["id"]
+        seconds = time.monotonic() - submit_time.pop(jid)
+        report = ev.get("report", {})
+        self.results.append((kind_of.pop(jid), name, seconds,
+                             bool(report.get("cache_hit", False))))
+        return outstanding - 1, done + 1
+
+
+def daemon_stats(sock_path):
+    """One payload-less stats job: the daemon's own counters."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(sock_path)
+    spec = {"schema": "kms-job-v1", "kind": "stats", "client": "kmsd_load"}
+    sock.sendall((json.dumps(spec) + "\n").encode())
+    rfile = sock.makefile("r", encoding="utf-8")
+    while True:
+        ev = json.loads(rfile.readline())
+        if ev.get("event") == "done":
+            sock.close()
+            return ev["report"]
+        if ev.get("event") == "rejected":
+            sock.close()
+            raise RuntimeError(f"stats job rejected: {ev.get('reason')}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--kmsd", help="kmsd binary to spawn (owns the socket)")
+    ap.add_argument("--socket", help="connect to an already-running daemon")
+    ap.add_argument("--json", required=True, help="write BENCH_serve.json here")
+    ap.add_argument("--examples", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "examples"))
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="passes over (circuit x kind); >1 exercises the cache")
+    ap.add_argument("--window", type=int, default=6,
+                    help="outstanding jobs per connection (< per-client cap)")
+    ap.add_argument("--quick", action="store_true",
+                    help="single round per client (CI smoke)")
+    args = ap.parse_args()
+    if bool(args.kmsd) == bool(args.socket):
+        sys.exit("kmsd_load: pass exactly one of --kmsd or --socket")
+
+    circuits = find_circuits(args.examples)
+    rounds = 1 if args.quick else args.rounds
+    jobs = make_jobs(circuits, rounds)
+
+    proc = None
+    sock_path = args.socket
+    tmpdir = None
+    if args.kmsd:
+        tmpdir = tempfile.mkdtemp(prefix="kmsd_load.")
+        sock_path = os.path.join(tmpdir, "kmsd.sock")
+        proc = subprocess.Popen(
+            [args.kmsd, "--socket", sock_path,
+             "--queue-max", "512", "--per-client-max", "64"],
+            stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(sock_path):
+            if proc.poll() is not None or time.monotonic() > deadline:
+                sys.exit("kmsd_load: daemon failed to come up")
+            time.sleep(0.02)
+
+    try:
+        clients = [Client(sock_path, jobs, args.window)
+                   for _ in range(args.clients)]
+        t0 = time.monotonic()
+        for c in clients:
+            c.start()
+        for c in clients:
+            c.join()
+        wall = time.monotonic() - t0
+        for c in clients:
+            if c.error:
+                raise c.error
+        stats = daemon_stats(sock_path)
+    finally:
+        if proc:
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait()
+            if os.path.exists(sock_path):
+                os.unlink(sock_path)
+            if tmpdir:
+                os.rmdir(tmpdir)
+            if rc != 0:
+                sys.exit(f"kmsd_load: daemon exited {rc} after drain")
+
+    results = [r for c in clients for r in c.results]
+    per_kind = []
+    for kind in KINDS:
+        rows = [r for r in results if r[0] == kind]
+        lat = sorted(r[2] for r in rows)
+        per_kind.append({
+            "kind": kind,
+            "submitted": len(rows),
+            "done": sum(1 for r in rows if r[1] == "done"),
+            "rejected": sum(1 for r in rows if r[1] == "rejected"),
+            "cache_hits": sum(1 for r in rows if r[3]),
+            "mean_seconds": sum(lat) / len(lat) if lat else 0.0,
+            "p95_seconds": lat[int(0.95 * (len(lat) - 1))] if lat else 0.0,
+        })
+
+    bench = {
+        "schema": "kms-bench-serve-v1",
+        "clients": args.clients,
+        "rounds": rounds,
+        "jobs_submitted": len(results),
+        "done": sum(1 for r in results if r[1] == "done"),
+        "rejected": sum(1 for r in results if r[1] == "rejected"),
+        "cache_hits": sum(1 for r in results if r[3]),
+        "wall_seconds": wall,
+        "jobs_per_second": len(results) / wall if wall > 0 else 0.0,
+        "kinds": per_kind,
+        "daemon": {
+            "served": stats["daemon_served"],
+            "cache_hits": stats["daemon_cache_hits"],
+            "cache_entries": stats["daemon_cache_entries"],
+            "rejected": stats["daemon_rejected"],
+        },
+    }
+    with open(args.json, "w") as f:
+        json.dump(bench, f, indent=2)
+        f.write("\n")
+    print(f"kmsd_load: {bench['jobs_submitted']} jobs in {wall:.2f}s "
+          f"({bench['jobs_per_second']:.1f}/s), "
+          f"{bench['cache_hits']} cache hits, "
+          f"{bench['rejected']} rejected -> {args.json}")
+
+
+if __name__ == "__main__":
+    main()

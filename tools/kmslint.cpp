@@ -24,15 +24,18 @@
 #include "src/check/diagnostics.hpp"
 #include "src/check/hooks.hpp"
 #include "src/netlist/blif.hpp"
+#include "src/serve/job.hpp"
+#include "tools/args.hpp"
 
 namespace {
 
 using namespace kms;
 
+/// Options ride on a JobSpec (the shared flag table maps --json/
+/// --strict/--no-warn onto it), so kmslint's flags mean exactly what
+/// the same flags mean to kmscli lint and a kmsd lint job.
 struct Args {
-  bool json = false;
-  bool strict = false;
-  bool warnings = true;
+  serve::JobSpec spec;
   bool list_rules = false;
   std::vector<std::string> files;
 };
@@ -47,19 +50,22 @@ int usage() {
 bool parse_args(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--json") {
-      args->json = true;
-    } else if (a == "--strict") {
-      args->strict = true;
-    } else if (a == "--no-warn") {
-      args->warnings = false;
-    } else if (a == "--list-rules") {
+    if (a == "--list-rules") {
       args->list_rules = true;
-    } else if (!a.empty() && a[0] == '-') {
-      return false;
-    } else {
-      args->files.push_back(a);
+      continue;
     }
+    if (!a.empty() && a[0] == '-') {
+      switch (tools::parse_job_flag("kmslint", argc, argv, &i, &args->spec)) {
+        case tools::FlagResult::kHandled:
+          continue;
+        case tools::FlagResult::kBadValue:
+          return false;
+        case tools::FlagResult::kUnknown:
+          tools::report_unknown_flag("kmslint", argv[i]);
+          return false;
+      }
+    }
+    args->files.push_back(a);
   }
   return args->list_rules || !args->files.empty();
 }
@@ -87,7 +93,7 @@ Diagnostics lint_file(const std::string& path, const Args& args) {
     // Accept combinational and .latch models alike.
     const BlifSequential model = read_blif_sequential(in);
     CheckOptions opts;
-    opts.warnings = args.warnings;
+    opts.warnings = args.spec.warnings;
     Diagnostics out = NetworkChecker(opts).run(model.comb);
     // The analysis-backed rules (NL017-NL021, all warnings) and the
     // timing rules (NL022/NL023) assume the representation invariants
@@ -96,8 +102,8 @@ Diagnostics lint_file(const std::string& path, const Args& args) {
     // timing rules run regardless of --no-warn (which only drops the
     // warning-severity NL023 inside).
     if (out.error_count() == 0) {
-      if (args.warnings) analysis::run_analysis_rules(model.comb, &out);
-      run_timing_rules(model.comb, &out, 100, args.warnings);
+      if (args.spec.warnings) analysis::run_analysis_rules(model.comb, &out);
+      run_timing_rules(model.comb, &out, 100, args.spec.warnings);
     }
     return out;
   } catch (const BlifError& e) {
@@ -127,13 +133,13 @@ int main(int argc, char** argv) {
   install_invariant_self_checks();
 
   bool any_error = false, any_finding = false;
-  if (args.json) std::cout << "[";
+  if (args.spec.json) std::cout << "[";
   for (std::size_t i = 0; i < args.files.size(); ++i) {
     const std::string& path = args.files[i];
     const Diagnostics diags = lint_file(path, args);
     any_error |= diags.error_count() > 0;
     any_finding |= !diags.empty();
-    if (args.json) {
+    if (args.spec.json) {
       if (i > 0) std::cout << ",";
       std::cout << "{\"file\":\"" << json_escape(path) << "\",\"report\":";
       diags.print_json(std::cout);
@@ -145,6 +151,6 @@ int main(int argc, char** argv) {
                      all_rules().size());
     }
   }
-  if (args.json) std::cout << "]\n";
-  return (any_error || (args.strict && any_finding)) ? 2 : 0;
+  if (args.spec.json) std::cout << "]\n";
+  return (any_error || (args.spec.strict && any_finding)) ? 2 : 0;
 }

@@ -26,6 +26,7 @@
 #include "src/proof/checker.hpp"
 #include "src/proof/drat.hpp"
 #include "src/proof/verify.hpp"
+#include "tools/args.hpp"
 
 namespace {
 
@@ -67,6 +68,11 @@ int check_pair(const char* cnf_path, const char* drat_path) {
 int main(int argc, char** argv) {
   if (argc == 4 && std::string_view(argv[1]) == "--proof")
     return check_pair(argv[2], argv[3]);
+  if (argc >= 2 && argv[1][0] == '-' &&
+      std::string_view(argv[1]) != "--proof") {
+    kms::tools::report_unknown_flag("kmsproof", argv[1]);
+    return usage();
+  }
   if (argc != 2 || argv[1][0] == '-') return usage();
   {
     // A directory with a write-ahead log but no finalized journal is a

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_serve.json file against the kms-bench-serve-v1 schema.
+
+Usage: validate_bench_serve.py <path>
+
+Checks (stdlib only, no dependencies):
+  * the file parses as JSON and carries schema "kms-bench-serve-v1";
+  * the suite-level counters are present, correctly typed, and
+    internally consistent (done + rejected == jobs_submitted, the
+    per-kind rows sum to the suite totals);
+  * "kinds" is a non-empty list with every required column typed and
+    non-negative on every row;
+  * at least one job completed (done >= 1), so the run is not vacuous;
+  * the cache-hit count is NONZERO, both as observed by the clients
+    and as counted by the daemon itself — the workload resubmits every
+    (circuit, kind) pair, so a correct digest cache must fire; a zero
+    here means the fingerprint or the cache is broken;
+  * the daemon's own served counter covers every submitted job.
+
+Latency and throughput are reported, not gated: CI machines are too
+noisy for wall-clock assertions, and the cache/admission contracts
+above are what the daemon actually promises.
+
+Exit code 0 on success; 1 with a diagnostic on any violation (including
+an empty or malformed file — the CI serve-smoke stage depends on that).
+"""
+import json
+import sys
+
+SUITE_INT_FIELDS = ["clients", "rounds", "jobs_submitted", "done",
+                    "rejected", "cache_hits"]
+SUITE_NUM_FIELDS = ["wall_seconds", "jobs_per_second"]
+KIND_INT_FIELDS = ["submitted", "done", "rejected", "cache_hits"]
+KIND_NUM_FIELDS = ["mean_seconds", "p95_seconds"]
+DAEMON_INT_FIELDS = ["served", "cache_hits", "cache_entries", "rejected"]
+
+
+def fail(msg):
+    print(f"validate_bench_serve: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench_serve.py <path>")
+    try:
+        with open(sys.argv[1]) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {sys.argv[1]}: {e}")
+
+    if data.get("schema") != "kms-bench-serve-v1":
+        fail(f"bad schema: {data.get('schema')!r}")
+    for f in SUITE_INT_FIELDS:
+        if not isinstance(data.get(f), int) or data[f] < 0:
+            fail(f"suite field {f!r} is not a non-negative integer")
+    for f in SUITE_NUM_FIELDS:
+        if not isinstance(data.get(f), (int, float)) or data[f] < 0:
+            fail(f"suite field {f!r} is not a non-negative number")
+
+    if data["done"] + data["rejected"] != data["jobs_submitted"]:
+        fail("done + rejected != jobs_submitted: some job got no "
+             "terminal event")
+    if data["done"] < 1:
+        fail("no job completed — the run is vacuous")
+
+    kinds = data.get("kinds")
+    if not isinstance(kinds, list) or not kinds:
+        fail("'kinds' is not a non-empty list")
+    for row in kinds:
+        if not isinstance(row, dict) or not isinstance(row.get("kind"), str):
+            fail("kind row without a string 'kind' name")
+        name = row["kind"]
+        for f in KIND_INT_FIELDS:
+            if not isinstance(row.get(f), int) or row[f] < 0:
+                fail(f"kind {name!r}: field {f!r} is not a non-negative "
+                     "integer")
+        for f in KIND_NUM_FIELDS:
+            if not isinstance(row.get(f), (int, float)) or row[f] < 0:
+                fail(f"kind {name!r}: field {f!r} is not a non-negative "
+                     "number")
+        if row["done"] + row["rejected"] != row["submitted"]:
+            fail(f"kind {name!r}: done + rejected != submitted")
+    for col, suite_col in [("submitted", "jobs_submitted"), ("done", "done"),
+                           ("rejected", "rejected"),
+                           ("cache_hits", "cache_hits")]:
+        total = sum(row[col] for row in kinds)
+        if total != data[suite_col]:
+            fail(f"per-kind {col!r} rows sum to {total}, suite says "
+                 f"{data[suite_col]}")
+
+    daemon = data.get("daemon")
+    if not isinstance(daemon, dict):
+        fail("'daemon' counters missing")
+    for f in DAEMON_INT_FIELDS:
+        if not isinstance(daemon.get(f), int) or daemon[f] < 0:
+            fail(f"daemon field {f!r} is not a non-negative integer")
+
+    # The whole point of the bench: resubmitted work must hit the cache.
+    if data["cache_hits"] < 1:
+        fail("zero client-observed cache hits — the digest cache never "
+             "fired on a workload that resubmits every job")
+    if daemon["cache_hits"] < 1:
+        fail("daemon counted zero cache hits")
+    if daemon["served"] < data["done"]:
+        fail(f"daemon served {daemon['served']} < {data['done']} client-"
+             "observed completions")
+
+    print(f"validate_bench_serve: OK: {data['jobs_submitted']} jobs, "
+          f"{data['done']} done, {data['cache_hits']} cache hits "
+          f"({data['jobs_per_second']:.1f} jobs/s)")
+
+
+if __name__ == "__main__":
+    main()
